@@ -1,0 +1,109 @@
+// Command cpelide-sim runs one benchmark (or all of them) on the simulated
+// multi-chiplet GPU under one or more coherence configurations and prints a
+// comparison table.
+//
+// Usage:
+//
+//	cpelide-sim -workload babelstream -chiplets 4
+//	cpelide-sim -all -chiplets 4 -scale 0.5
+//	cpelide-sim -workload bfs -protocols Baseline,CPElide,HMG -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+var protocolByName = map[string]cpelide.Protocol{
+	"baseline": cpelide.ProtocolBaseline,
+	"cpelide":  cpelide.ProtocolCPElide,
+	"hmg":      cpelide.ProtocolHMG,
+	"hmg-wb":   cpelide.ProtocolHMGWriteBack,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpelide-sim: ")
+	var (
+		workload  = flag.String("workload", "", "benchmark name (see -list)")
+		all       = flag.Bool("all", false, "run every benchmark")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		chiplets  = flag.Int("chiplets", 4, "number of chiplets (1 = monolithic equivalent of 4)")
+		scale     = flag.Float64("scale", 1.0, "footprint scale factor")
+		iters     = flag.Int("iters", 0, "override iterative workloads' iteration count")
+		protoList = flag.String("protocols", "Baseline,CPElide,HMG", "comma-separated protocols")
+		verbose   = flag.Bool("v", false, "print per-run counter sheets")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-16s %-18s input: %s\n", s.Name, "("+s.Class.String()+")", s.Input)
+		}
+		return
+	}
+
+	var protos []cpelide.Protocol
+	for _, name := range strings.Split(*protoList, ",") {
+		p, ok := protocolByName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			log.Fatalf("unknown protocol %q (want Baseline, CPElide, HMG, HMG-WB)", name)
+		}
+		protos = append(protos, p)
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = workloads.Names()
+	case *workload != "":
+		names = []string{*workload}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params := workloads.Params{Scale: *scale, Iters: *iters}
+	var cfg cpelide.Config
+	if *chiplets == 1 {
+		cfg = cpelide.MonolithicConfig(4)
+	} else {
+		cfg = cpelide.DefaultConfig(*chiplets)
+	}
+
+	fmt.Printf("%-16s %10s %14s %10s %9s %12s %8s\n",
+		"workload", "protocol", "cycles", "speedup", "energy", "flits", "stale")
+	for _, name := range names {
+		var base *cpelide.Report
+		for _, p := range protos {
+			alloc := cpelide.NewAllocator(cfg.PageSize)
+			w, err := workloads.Build(name, alloc, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == nil {
+				base = rep
+			}
+			fmt.Printf("%-16s %10s %14d %9.3fx %9.3f %12d %8d\n",
+				name, rep.Protocol, rep.Cycles, rep.Speedup(base),
+				cpelide.EnergyRatio(rep, base), rep.TotalFlits(), rep.StaleReads)
+			if *verbose {
+				fmt.Println(rep.Sheet)
+				fmt.Printf("  L2 hit rate: %.1f%%  elided acq/rel: %d/%d\n",
+					100*stats.Ratio(rep.Sheet.Get(stats.L2Hits), rep.Sheet.Get(stats.L2Accesses)),
+					rep.Sheet.Get(stats.AcquiresElided), rep.Sheet.Get(stats.ReleasesElided))
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command paper-figures regenerates every table and figure of the CPElide
+// paper's evaluation section and prints the series the paper plots.
+//
+// Usage:
+//
+//	paper-figures                 # everything (minutes)
+//	paper-figures -only fig8 -chiplets 4
+//	paper-figures -scale 0.25     # quick pass at reduced footprints
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper-figures: ")
+	var (
+		only     = flag.String("only", "", "comma-separated subset: fig2,fig8,fig9,fig10,table2,scaling,multistream,ablations,extensions")
+		scale    = flag.Float64("scale", 1.0, "workload footprint scale")
+		iters    = flag.Int("iters", 0, "override iterative workloads' iteration count")
+		chiplets = flag.String("chiplets", "2,4,6,7", "chiplet counts for fig8")
+		loads    = flag.String("workloads", "", "comma-separated benchmark subset")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text tables")
+	)
+	flag.Parse()
+	emitJSON = *asJSON
+
+	p := experiments.Params{Scale: *scale, Iters: *iters}
+	if *loads != "" {
+		p.Workloads = strings.Split(*loads, ",")
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("fig2") {
+		show(experiments.Figure2(p))
+	}
+	if sel("fig8") {
+		var ns []int
+		for _, s := range strings.Split(*chiplets, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				log.Fatalf("bad -chiplets value %q", s)
+			}
+			ns = append(ns, n)
+		}
+		results, err := experiments.Figure8(p, ns...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range ns {
+			show(results[n], nil)
+		}
+	}
+	if sel("fig9") {
+		show(experiments.Figure9(p))
+	}
+	if sel("fig10") {
+		show(experiments.Figure10(p))
+	}
+	if sel("table2") {
+		show(experiments.TableII(p))
+	}
+	if sel("scaling") {
+		show(experiments.ScalingStudy(p))
+	}
+	if sel("multistream") {
+		show(experiments.MultiStream(p))
+	}
+	if sel("ablations") {
+		show(experiments.HMGWriteBack(p))
+		show(experiments.RangeOps(p))
+		show(experiments.AnnotationGranularity(p))
+		show(experiments.TableSize(p))
+		show(experiments.DirGranularity(p))
+	}
+	if sel("extensions") {
+		show(experiments.DriverManaged(p))
+		show(experiments.PagePlacement(p))
+		show(experiments.InferredAnnotations(p))
+		show(experiments.Scheduling(p))
+		show(experiments.KernelFusion(p))
+		show(experiments.RemoteBankComparison(p))
+		show(experiments.MGPU(p))
+	}
+}
+
+var emitJSON bool
+
+func show(res *experiments.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if emitJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(res)
+}

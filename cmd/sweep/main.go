@@ -1,0 +1,124 @@
+// Command sweep explores the simulator's parameter space around the paper's
+// configuration: chiplet counts, L2 capacities, Chiplet Coherence Table
+// sizes, interconnect bandwidths, and HMG directory shapes. Each sweep
+// prints one row per point with CPElide's and HMG's speedups over the
+// baseline, so design-space trends are visible beyond the paper's fixed
+// Table I machine.
+//
+// Usage:
+//
+//	sweep -workload babelstream -param chiplets
+//	sweep -workload sssp -param l2size -scale 0.5
+//	sweep -workload babelstream -param table -protocol cpelide
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+type point struct {
+	label string
+	cfg   cpelide.Config
+	opt   cpelide.Options
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		workload = flag.String("workload", "babelstream", "benchmark to sweep")
+		param    = flag.String("param", "chiplets", "chiplets | l2size | table | linkbw | dirlines")
+		scale    = flag.Float64("scale", 1.0, "workload footprint scale")
+		iters    = flag.Int("iters", 0, "iteration override")
+	)
+	flag.Parse()
+
+	points, err := buildSweep(*param)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sweep %s over %s\n", *workload, *param)
+	fmt.Printf("%-18s %14s %14s %12s %12s\n",
+		"point", "base-cycles", "cpelide", "speedup", "hmg-speedup")
+	wp := workloads.Params{Scale: *scale, Iters: *iters}
+	for _, pt := range points {
+		run := func(p cpelide.Protocol) *cpelide.Report {
+			alloc := cpelide.NewAllocator(pt.cfg.PageSize)
+			w, err := workloads.Build(*workload, alloc, wp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt := pt.opt
+			opt.Protocol = p
+			rep, err := cpelide.Run(pt.cfg, w, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.StaleReads != 0 {
+				log.Fatalf("%s/%v: %d stale reads", pt.label, p, rep.StaleReads)
+			}
+			return rep
+		}
+		base := run(cpelide.ProtocolBaseline)
+		elide := run(cpelide.ProtocolCPElide)
+		hmg := run(cpelide.ProtocolHMG)
+		fmt.Printf("%-18s %14d %14d %11.3fx %11.3fx\n",
+			pt.label, base.Cycles, elide.Cycles, elide.Speedup(base), hmg.Speedup(base))
+	}
+}
+
+func buildSweep(param string) ([]point, error) {
+	var points []point
+	switch param {
+	case "chiplets":
+		for _, n := range []int{2, 4, 6, 7} {
+			points = append(points, point{
+				label: fmt.Sprintf("chiplets=%d", n),
+				cfg:   cpelide.DefaultConfig(n),
+			})
+		}
+	case "l2size":
+		for _, mb := range []int{2, 4, 8, 16} {
+			cfg := cpelide.DefaultConfig(4)
+			cfg.L2SizeBytes = mb << 20
+			points = append(points, point{
+				label: fmt.Sprintf("l2=%dMB", mb),
+				cfg:   cfg,
+			})
+		}
+	case "table":
+		for _, e := range []int{4, 8, 16, 64, 256} {
+			points = append(points, point{
+				label: fmt.Sprintf("table=%d", e),
+				cfg:   cpelide.DefaultConfig(4),
+				opt:   cpelide.Options{CPElideTableEntries: e},
+			})
+		}
+	case "linkbw":
+		for _, gbs := range []float64{192, 384, 768, 1536} {
+			cfg := cpelide.DefaultConfig(4)
+			cfg.InterChipletBWGBs = gbs
+			points = append(points, point{
+				label: fmt.Sprintf("link=%.0fGB/s", gbs),
+				cfg:   cfg,
+			})
+		}
+	case "dirlines":
+		for _, l := range []int{1, 2, 4, 8} {
+			points = append(points, point{
+				label: fmt.Sprintf("dirlines=%d", l),
+				cfg:   cpelide.DefaultConfig(4),
+				opt:   cpelide.Options{HMGDirLinesPerEntry: l},
+			})
+		}
+	default:
+		return nil, fmt.Errorf("unknown -param %q", param)
+	}
+	return points, nil
+}

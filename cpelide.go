@@ -1,0 +1,394 @@
+// Package cpelide is a simulation library reproducing "CPElide: Efficient
+// Multi-Chiplet GPU Implicit Synchronization" (MICRO 2024).
+//
+// It models a multi-chiplet GPU (per-CU L1s, per-chiplet L2s, a banked
+// shared L3 as the inter-chiplet ordering point, first-touch NUMA page
+// placement, and a bandwidth-limited crossbar) and three coherence
+// configurations:
+//
+//   - Baseline: the VIPER-chiplet protocol with conservative GPU-wide L2
+//     flush+invalidate at every kernel boundary.
+//   - CPElide: the paper's contribution — a Chiplet Coherence Table in the
+//     global command processor that tracks data structures per chiplet and
+//     performs lazy, chiplet-targeted acquires and releases only when a
+//     cross-chiplet dependence requires them.
+//   - HMG: the state-of-the-art hierarchical coherence protocol (write
+//     through L2s with a per-chiplet sharer directory), plus its write-back
+//     ablation variant.
+//
+// Every run is functionally checked: all caches carry data versions and any
+// read observing a version older than the newest write is reported as a
+// stale read, so eliding a required synchronization is detected, not just
+// mistimed.
+//
+// The top-level entry point is Run (one workload, one configuration) or
+// RunStreams (multi-stream). The workloads package provides descriptors for
+// the paper's 24 benchmarks, and the experiments package regenerates each
+// figure and table.
+package cpelide
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/energy"
+	"repro/internal/gpu"
+	"repro/internal/hip"
+	"repro/internal/hmg"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Re-exported types so library users can build machines and workloads
+// without reaching into internal packages.
+type (
+	// Config is the simulated GPU description (Table I parameters).
+	Config = config.GPU
+	// Workload is a benchmark: allocations plus a dynamic kernel sequence.
+	Workload = kernels.Workload
+	// Kernel is a static kernel description.
+	Kernel = kernels.Kernel
+	// Arg binds a data structure into a kernel.
+	Arg = kernels.Arg
+	// DataStructure is one global-memory allocation.
+	DataStructure = kernels.DataStructure
+	// Allocator hands out page-aligned data-structure addresses.
+	Allocator = kernels.Allocator
+	// StreamSpec binds a workload's kernel sequence to a chiplet set.
+	StreamSpec = cp.StreamSpec
+	// Sheet is a set of named simulation counters.
+	Sheet = stats.Sheet
+	// EnergyBreakdown is the Figure 9 energy decomposition.
+	EnergyBreakdown = energy.Breakdown
+)
+
+// Access modes and patterns, re-exported.
+const (
+	Read      = kernels.Read
+	ReadWrite = kernels.ReadWrite
+
+	Linear    = kernels.Linear
+	Strided   = kernels.Strided
+	Stencil   = kernels.Stencil
+	Broadcast = kernels.Broadcast
+	Indirect  = kernels.Indirect
+)
+
+// HIP-like runtime (the paper's extended ROCm interface), re-exported.
+type (
+	// Runtime is the HIP-like runtime used to author workloads with the
+	// paper's hipSetAccessMode / hipSetAccessModeRange annotations.
+	Runtime = hip.Runtime
+	// GPUStream is an in-order launch queue, optionally chiplet-bound.
+	GPUStream = hip.Stream
+	// KernelConfig carries per-kernel execution parameters.
+	KernelConfig = hip.KernelConfig
+)
+
+// NewRuntime returns a HIP-like runtime with the default page alignment.
+func NewRuntime() *Runtime { return hip.NewRuntime(config.Default(4).PageSize) }
+
+// Page placement policies and WG schedules, re-exported.
+const (
+	PlacementFirstTouch  = cp.PlacementFirstTouch
+	PlacementInterleaved = cp.PlacementInterleaved
+	PlacementSingle      = cp.PlacementSingle
+
+	RoundRobinCU = kernels.RoundRobinCU
+	ChunkedCU    = kernels.ChunkedCU
+)
+
+// FuseAdjacent applies software kernel fusion to a workload (the Section VI
+// alternative to implicit-synchronization elision).
+func FuseAdjacent(w *Workload, maxArgs, maxLDSBytes int) *Workload {
+	return kernels.FuseAdjacent(w, kernels.FusionConfig{MaxArgs: maxArgs, MaxLDSBytes: maxLDSBytes})
+}
+
+// Annotation options for Runtime.SetAccessMode, re-exported from the
+// HIP-like runtime.
+var (
+	WithHalo            = hip.WithHalo
+	WithStride          = hip.WithStride
+	WithGather          = hip.WithGather
+	WithWorklist        = hip.WithWorklist
+	WithReadModifyWrite = hip.WithReadModifyWrite
+)
+
+// DefaultConfig returns the Table I machine with n chiplets (2, 4, 6, 7 in
+// the paper; 1 is accepted for the monolithic equivalent).
+func DefaultConfig(nChiplets int) Config { return config.Default(nChiplets) }
+
+// MonolithicConfig returns the infeasible monolithic GPU equivalent to an
+// n-chiplet system, used by Figure 2.
+func MonolithicConfig(equivalentChiplets int) Config {
+	return config.Monolithic(equivalentChiplets)
+}
+
+// MGPUConfig returns a multi-GPU system of MCM-GPUs (Section VI): gpus
+// packages of chipletsPerGPU chiplets each, connected by the inter-GPU
+// interconnect. CPElide's global view spans all chiplets, so its elision
+// applies across the whole system.
+func MGPUConfig(gpus, chipletsPerGPU int) Config {
+	g := config.Default(gpus * chipletsPerGPU)
+	g.NumGPUs = gpus
+	return g
+}
+
+// NewAllocator returns an allocator for workload data structures, starting
+// at the simulator's heap base with the given page alignment.
+func NewAllocator(pageSize int) *Allocator {
+	return kernels.NewAllocator(HeapBase, pageSize)
+}
+
+// HeapBase is where workload allocations start.
+const HeapBase mem.Addr = 0x1000_0000
+
+// Protocol selects the coherence configuration of a run.
+type Protocol int
+
+const (
+	// ProtocolBaseline is the conservative VIPER-chiplet baseline.
+	ProtocolBaseline Protocol = iota
+	// ProtocolCPElide is the paper's proposal.
+	ProtocolCPElide
+	// ProtocolHMG is the state-of-the-art comparator (write-through L2s).
+	ProtocolHMG
+	// ProtocolHMGWriteBack is HMG's write-back ablation variant.
+	ProtocolHMGWriteBack
+	// ProtocolRemoteBank is the paper's design alternative (a): the L2s
+	// form a NUCA-style shared cache whose remote banks serve every remote
+	// access — no boundary synchronization, no requester-side caching.
+	ProtocolRemoteBank
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolBaseline:
+		return "Baseline"
+	case ProtocolCPElide:
+		return "CPElide"
+	case ProtocolHMG:
+		return "HMG"
+	case ProtocolHMGWriteBack:
+		return "HMG-WB"
+	case ProtocolRemoteBank:
+		return "RemoteBank"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Options tunes a run.
+type Options struct {
+	Protocol Protocol
+
+	// NoRangeInfo degrades annotations from hipSetAccessModeRange to
+	// hipSetAccessMode: access modes are still known but each assigned
+	// chiplet conservatively declares whole-structure ranges.
+	NoRangeInfo bool
+
+	// CPElideRangeOps enables the fine-grained hardware range-flush
+	// extension (Section VI).
+	CPElideRangeOps bool
+	// CPElideTableEntries overrides the Chiplet Coherence Table capacity.
+	CPElideTableEntries int
+
+	// HMGDirLinesPerEntry overrides the directory granularity (default 4
+	// lines per entry; 1 for the precision ablation).
+	HMGDirLinesPerEntry int
+	// HMGDirEntries overrides the per-chiplet directory capacity.
+	HMGDirEntries int
+
+	// DriverManaged moves CPElide's table to the GPU driver (the Section
+	// VI alternative): identical decisions, but every kernel launch pays a
+	// host round trip for the CP to report scheduling information, which
+	// cannot be hidden by the on-device launch pipeline.
+	DriverManaged bool
+
+	// Placement selects the NUMA page placement policy (default first
+	// touch, as in the paper).
+	Placement cp.PagePlacement
+
+	// InferAnnotations derives declared ranges from a profiling pass
+	// (record-and-replay automation) instead of static annotations.
+	InferAnnotations bool
+
+	// Scheduler selects the local CPs' WG-to-CU assignment.
+	Scheduler kernels.CUSchedule
+
+	// SyncLatencySets serializes N sets of every kernel boundary's
+	// acquire/release latency instead of one — the Section VI methodology
+	// for conservatively mimicking 8-chiplet (N=2) and 16-chiplet (N=4)
+	// synchronization overhead on a 4-chiplet simulation. Cache contents
+	// are untouched; only the exposed latency scales.
+	SyncLatencySets int
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Workload string
+	Protocol string
+	Chiplets int
+
+	// Cycles is total execution time in GPU core cycles.
+	Cycles uint64
+	// Sheet holds every raw counter.
+	Sheet *Sheet
+	// Energy is the memory-subsystem energy breakdown.
+	Energy EnergyBreakdown
+	// StaleReads counts functional coherence violations (must be zero).
+	StaleReads uint64
+	// Kernels is the number of dynamic kernels executed.
+	Kernels uint64
+	// Accesses is the number of simulated line-granularity accesses.
+	Accesses uint64
+}
+
+// Flits returns the run's interconnect traffic by Figure 10's classes.
+func (r *Report) Flits() (l1l2, l2l3, remote uint64) {
+	return r.Sheet.Get(stats.FlitsL1L2), r.Sheet.Get(stats.FlitsL2L3), r.Sheet.Get(stats.FlitsRemote)
+}
+
+// TotalFlits returns the run's total interconnect traffic.
+func (r *Report) TotalFlits() uint64 {
+	a, b, c := r.Flits()
+	return a + b + c
+}
+
+// EnergyRatio returns r's total memory-subsystem energy relative to base's
+// (1.0 = equal; lower is better).
+func EnergyRatio(r, base *Report) float64 { return energy.Ratio(r.Energy, base.Energy) }
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r *Report) Speedup(base *Report) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Run executes workload w on cfg under the selected protocol. The workload
+// runs as a single stream across all chiplets, like the paper's
+// single-stream evaluation.
+func Run(cfg Config, w *Workload, opt Options) (*Report, error) {
+	return RunStreams(cfg, []StreamSpec{{Workload: w}}, opt)
+}
+
+// RunStreams executes multiple concurrent streams (Section VI's
+// multi-stream study). Each stream's workload must use disjoint
+// allocations.
+func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cpelide: no streams")
+	}
+	bounds := mem.Range{Lo: HeapBase, Hi: HeapBase}
+	names := ""
+	var seed uint64
+	for i, s := range specs {
+		if s.Workload == nil {
+			return nil, fmt.Errorf("cpelide: stream %d has no workload", i)
+		}
+		bounds = bounds.Union(s.Workload.Bounds())
+		if i > 0 {
+			names += "+"
+		}
+		names += s.Workload.Name
+		seed ^= s.Workload.Seed
+	}
+
+	sheet := stats.New()
+	m := machine.New(cfg, bounds, sheet)
+	var proto coherence.Protocol
+	switch opt.Protocol {
+	case ProtocolBaseline:
+		proto = coherence.NewBaseline(m)
+	case ProtocolCPElide:
+		proto = core.NewWithOptions(m, core.Options{
+			RangeOps:     opt.CPElideRangeOps,
+			TableEntries: opt.CPElideTableEntries,
+		})
+	case ProtocolHMG, ProtocolHMGWriteBack:
+		proto = hmg.New(m, hmg.Options{
+			WriteBack:     opt.Protocol == ProtocolHMGWriteBack,
+			DirEntries:    opt.HMGDirEntries,
+			LinesPerEntry: opt.HMGDirLinesPerEntry,
+		})
+	case ProtocolRemoteBank:
+		proto = coherence.NewRemoteBank(m)
+	default:
+		return nil, fmt.Errorf("cpelide: unknown protocol %v", opt.Protocol)
+	}
+	if opt.DriverManaged {
+		proto = &driverManagedProtocol{Protocol: proto, cycles: cfg.DriverRoundTripCycles()}
+	}
+	if opt.SyncLatencySets > 1 {
+		proto = &scaledSyncProtocol{Protocol: proto, sets: opt.SyncLatencySets}
+	}
+
+	x := gpu.New(m, proto, seed)
+	x.Sched = opt.Scheduler
+	runner, err := cp.NewRunner(x, specs, cp.RunnerConfig{
+		RangeInfo:        !opt.NoRangeInfo,
+		Placement:        opt.Placement,
+		InferAnnotations: opt.InferAnnotations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cycles := runner.Run()
+
+	rep := &Report{
+		Workload:   names,
+		Protocol:   proto.Name(),
+		Chiplets:   cfg.NumChiplets,
+		Cycles:     cycles,
+		Sheet:      sheet,
+		Energy:     energy.FromSheet(sheet),
+		StaleReads: m.Mem.StaleReads(),
+		Kernels:    sheet.Get(stats.KernelsLaunched),
+	}
+	for _, rec := range runner.Records {
+		rep.Accesses += rec.Result.Accesses
+	}
+	return rep, nil
+}
+
+// scaledSyncProtocol serializes N copies of every launch plan's
+// synchronization latency: the paper's conservative methodology for
+// projecting 8- and 16-chiplet overheads from a smaller simulation
+// (Section VI). The operations themselves run once; only their exposed
+// latency repeats, which overestimates larger systems (real ones would
+// overlap the extra chiplets' operations).
+type scaledSyncProtocol struct {
+	coherence.Protocol
+	sets int
+}
+
+func (p *scaledSyncProtocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
+	plan := p.Protocol.PreLaunch(l)
+	plan.LatencyFactor = p.sets
+	return plan
+}
+
+// driverManagedProtocol charges the host round trip the driver-managed
+// alternative pays on every launch: the CP must ship scheduling decisions
+// to the driver and wait for its synchronization verdict (Section VI;
+// prior work shows the added latency hurts, which is why CPElide lives in
+// the global CP).
+type driverManagedProtocol struct {
+	coherence.Protocol
+	cycles int
+}
+
+func (p *driverManagedProtocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
+	plan := p.Protocol.PreLaunch(l)
+	plan.HostRoundTripCycles += p.cycles
+	return plan
+}

@@ -1,0 +1,70 @@
+// Graph: an SSSP-style irregular workload with indirect gathers over
+// read-only topology and atomic scatter relaxations — the access patterns
+// that hurt HMG (home-node caching of low-locality remote data, directory
+// churn) while CPElide's elided acquires keep the topology resident.
+//
+//	go run ./examples/graph
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	rt := cpelide.NewRuntime()
+	const nodes = 1024 * 1024
+	adj := rt.Malloc("adjacency", nodes*4, 4)
+	weights := rt.Malloc("weights", nodes*4, 4)
+	dist := rt.Malloc("dist", nodes, 4)
+	mask := rt.Malloc("mask", nodes, 4)
+
+	relax := rt.Kernel("relax", 480, cpelide.KernelConfig{ComputePerWG: 280})
+	rt.SetAccessMode(relax, mask, cpelide.Read, cpelide.Linear)
+	rt.SetAccessMode(relax, adj, cpelide.Read, cpelide.Indirect,
+		cpelide.WithGather(2, 0.7), cpelide.WithWorklist(96))
+	rt.SetAccessMode(relax, weights, cpelide.Read, cpelide.Indirect,
+		cpelide.WithGather(1, 0.7), cpelide.WithWorklist(96))
+	// Distance relaxations are atomic scatter updates: declared R/W over
+	// the whole array since software cannot bound them statically.
+	rt.SetAccessMode(relax, dist, cpelide.ReadWrite, cpelide.Indirect,
+		cpelide.WithGather(1, 0), cpelide.WithWorklist(32))
+
+	check := rt.Kernel("convergence", 480, cpelide.KernelConfig{ComputePerWG: 200})
+	rt.SetAccessMode(check, dist, cpelide.Read, cpelide.Linear)
+	rt.SetAccessMode(check, mask, cpelide.ReadWrite, cpelide.Linear)
+
+	s := rt.Stream()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			rt.LaunchKernelGGL(s, relax)
+		}
+		rt.LaunchKernelGGL(s, check)
+	}
+	specs, err := rt.Streams()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SSSP-style graph workload, 25 kernels, 4-chiplet GPU:")
+	cfg := cpelide.DefaultConfig(4)
+	var base *cpelide.Report
+	for _, p := range []cpelide.Protocol{
+		cpelide.ProtocolBaseline, cpelide.ProtocolCPElide, cpelide.ProtocolHMG,
+	} {
+		rep, err := cpelide.RunStreams(cfg, specs, cpelide.Options{Protocol: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+		}
+		_, _, remote := rep.Flits()
+		fmt.Printf("  %-8s %9d cycles  speedup %.2fx  remote flits %9d  dir evictions %d\n",
+			rep.Protocol, rep.Cycles, rep.Speedup(base), remote,
+			rep.Sheet.Get(stats.DirEvictions))
+	}
+}

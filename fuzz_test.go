@@ -1,0 +1,198 @@
+package cpelide
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomWorkload builds a random-but-well-formed workload: random structure
+// sizes, access patterns, modes, grid sizes, and kernel sequences. One
+// design invariant is preserved, mirroring the studied benchmarks: a
+// structure is either a scatter target (only ever written atomically) or a
+// normal structure (written through the write-back path) — GPU programs
+// don't mix the two on the same array within a phase, and the simulator's
+// data-race-freedom assumption relies on it.
+func randomWorkload(seed int64) *Workload {
+	rnd := rand.New(rand.NewSource(seed))
+	alloc := NewAllocator(4096)
+
+	type structInfo struct {
+		ds      *DataStructure
+		scatter bool
+	}
+	nStructs := 2 + rnd.Intn(6)
+	structs := make([]structInfo, nStructs)
+	for i := range structs {
+		elems := (1 + rnd.Intn(64)) * 4096
+		structs[i] = structInfo{
+			ds:      alloc.Alloc(fmt.Sprintf("s%d", i), elems, 4),
+			scatter: rnd.Intn(4) == 0,
+		}
+	}
+
+	nKernels := 1 + rnd.Intn(6)
+	protoKernels := make([]*Kernel, nKernels)
+	for i := range protoKernels {
+		k := &Kernel{
+			Name:         fmt.Sprintf("k%d", i),
+			WGs:          8 + rnd.Intn(200),
+			ComputePerWG: uint32(rnd.Intn(3000)),
+			MLPFactor:    0.5 + rnd.Float64()*2,
+		}
+		nArgs := 1 + rnd.Intn(4)
+		usedInKernel := map[*DataStructure]bool{}
+		for a := 0; a < nArgs; a++ {
+			s := structs[rnd.Intn(nStructs)]
+			// One argument per structure per kernel: a kernel that both
+			// writes a structure and reads it across partition boundaries
+			// (halo, gather) or atomically would be an intra-kernel data
+			// race, which SC-for-HRF programs do not contain.
+			if usedInKernel[s.ds] {
+				continue
+			}
+			usedInKernel[s.ds] = true
+			arg := Arg{DS: s.ds}
+			if s.scatter {
+				// Scatter targets: atomic updates or linear reads.
+				if rnd.Intn(2) == 0 {
+					arg.Mode = ReadWrite
+					arg.Pattern = Indirect
+					arg.ReadModifyWrite = true
+					arg.WorkLinesPerWG = 1 + rnd.Intn(16)
+				} else {
+					arg.Mode = Read
+					arg.Pattern = Linear
+				}
+			} else {
+				switch rnd.Intn(5) {
+				case 0:
+					arg.Mode = Read
+					arg.Pattern = Linear
+				case 1:
+					arg.Mode = Read
+					arg.Pattern = Stencil
+					arg.HaloLines = 1 + rnd.Intn(4)
+				case 2:
+					arg.Mode = Read
+					arg.Pattern = Indirect
+					arg.TouchesPerLine = 1 + rnd.Intn(3)
+					arg.HotFraction = rnd.Float64()
+					arg.WorkLinesPerWG = 1 + rnd.Intn(16)
+				case 3:
+					arg.Mode = Read
+					arg.Pattern = Broadcast
+				default:
+					arg.Mode = ReadWrite
+					arg.Pattern = Linear
+					arg.ReadModifyWrite = rnd.Intn(2) == 0
+				}
+			}
+			k.Args = append(k.Args, arg)
+		}
+		protoKernels[i] = k
+	}
+
+	w := &Workload{
+		Name: fmt.Sprintf("fuzz-%d", seed),
+		Seed: uint64(seed)*2654435761 + 1,
+	}
+	seqLen := 3 + rnd.Intn(15)
+	for i := 0; i < seqLen; i++ {
+		w.Sequence = append(w.Sequence, protoKernels[rnd.Intn(nKernels)])
+	}
+	seen := map[*DataStructure]bool{}
+	for _, k := range w.Sequence {
+		for _, a := range k.Args {
+			if !seen[a.DS] {
+				seen[a.DS] = true
+				w.Structures = append(w.Structures, a.DS)
+			}
+		}
+	}
+	return w
+}
+
+// TestFuzzRandomWorkloadsCoherent drives randomized workloads through every
+// protocol and several machine shapes, asserting the staleness checker
+// stays silent. This is the adversarial counterpart of the per-benchmark
+// integration tests: it explores argument combinations, grid shapes, and
+// kernel interleavings no hand-written benchmark covers.
+func TestFuzzRandomWorkloadsCoherent(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	shapes := []struct {
+		chiplets int
+		opt      Options
+	}{
+		{2, Options{Protocol: ProtocolCPElide}},
+		{4, Options{Protocol: ProtocolCPElide}},
+		{7, Options{Protocol: ProtocolCPElide}},
+		{4, Options{Protocol: ProtocolCPElide, NoRangeInfo: true}},
+		{4, Options{Protocol: ProtocolCPElide, CPElideRangeOps: true}},
+		{4, Options{Protocol: ProtocolCPElide, CPElideTableEntries: 3}},
+		{4, Options{Protocol: ProtocolBaseline}},
+		{4, Options{Protocol: ProtocolHMG}},
+		{3, Options{Protocol: ProtocolHMG, HMGDirEntries: 128}},
+		{4, Options{Protocol: ProtocolHMGWriteBack}},
+		{4, Options{Protocol: ProtocolRemoteBank}},
+		{5, Options{Protocol: ProtocolRemoteBank}},
+		{1, Options{Protocol: ProtocolBaseline}},
+		{-2, Options{Protocol: ProtocolCPElide}}, // 2 GPUs x 3 chiplets
+		{-2, Options{Protocol: ProtocolHMG}},
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := randomWorkload(seed)
+			shape := shapes[int(seed)%len(shapes)]
+			var cfg Config
+			switch {
+			case shape.chiplets == 1:
+				cfg = MonolithicConfig(4)
+			case shape.chiplets < 0:
+				cfg = MGPUConfig(-shape.chiplets, 3)
+			default:
+				cfg = DefaultConfig(shape.chiplets)
+			}
+			// Shrink caches so eviction paths get exercised too.
+			if seed%3 == 0 {
+				cfg.L2SizeBytes = 256 << 10
+				cfg.L3SizeBytes = 512 << 10
+			}
+			rep, err := Run(cfg, w, shape.opt)
+			if err != nil {
+				t.Fatalf("%+v: %v", shape, err)
+			}
+			if rep.StaleReads != 0 {
+				t.Fatalf("%+v: %d stale reads (workload %s)",
+					shape, rep.StaleReads, w.Name)
+			}
+		})
+	}
+}
+
+// TestFuzzCrossProtocolWorkConservation: the protocols disagree on timing
+// and traffic but must all simulate the same kernel grid — same number of
+// dynamic kernels for any random workload.
+func TestFuzzCrossProtocolWorkConservation(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		w := randomWorkload(seed)
+		var kernelsRun []uint64
+		for _, p := range allProtocols {
+			rep, err := Run(DefaultConfig(4), w, Options{Protocol: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kernelsRun = append(kernelsRun, rep.Kernels)
+		}
+		for i := 1; i < len(kernelsRun); i++ {
+			if kernelsRun[i] != kernelsRun[0] {
+				t.Fatalf("seed %d: protocols ran different kernel counts: %v",
+					seed, kernelsRun)
+			}
+		}
+	}
+}

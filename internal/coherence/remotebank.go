@@ -1,0 +1,126 @@
+package coherence
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// reqBytes is the request/ack message size on the interconnect.
+const reqBytes = 8
+
+// RemoteBank implements the paper's design alternative (a) from Section
+// II-A: the per-chiplet L2s form one NUCA-style shared cache, and every
+// access to a remotely homed line is forwarded to the home chiplet's L2
+// bank ("incur additional latency to access a shared cache's remote bank"
+// [116]). Each line has exactly one possible L2 location — its home bank —
+// so no L2 copy can ever go stale and kernel boundaries need no L2
+// synchronization at all. The price is the crossbar round trip and remote
+// latency on every remote access, with no requester-side caching.
+//
+// The baseline the paper evaluates is alternative (b); RemoteBank is the
+// other end of the design space and shows why CPElide's middle ground wins:
+// it keeps (b)'s local caching and elides (b)'s synchronization instead of
+// giving up locality the way (a) does.
+type RemoteBank struct {
+	M *machine.Machine
+}
+
+// NewRemoteBank returns the NUCA-style protocol over machine m.
+func NewRemoteBank(m *machine.Machine) *RemoteBank { return &RemoteBank{M: m} }
+
+// Name implements Protocol.
+func (p *RemoteBank) Name() string { return "RemoteBank" }
+
+// PreLaunch performs no L2 synchronization: a line's only L2 location is
+// its home bank, so there is nothing to invalidate and flushing can wait
+// for eviction or program end.
+func (p *RemoteBank) PreLaunch(l *Launch) SyncPlan {
+	return SyncPlan{CPCycles: p.M.Cfg.CPLatencyCycles()}
+}
+
+// Access routes every request to the line's home L2 bank.
+func (p *RemoteBank) Access(chiplet, cu int, line mem.Addr, write, atomic bool) AccessResult {
+	m := p.M
+	cfg := &m.Cfg
+	home := m.Home(line, chiplet)
+	local := home == chiplet
+
+	if write || atomic {
+		ver := m.Mem.Store(line)
+		if atomic {
+			// The home bank is the per-line ordering point; the RMW
+			// executes there like any other access.
+			m.Mem.Commit(line, ver)
+		}
+		m.L1WriteThrough(chiplet, cu, line, ver)
+		m.Sheet.Inc(stats.L2Accesses)
+		cy := cfg.L2LocalLatency
+		if !local {
+			cy = cfg.L2RemoteLatency
+			m.Fabric.Remote(chiplet, home, reqBytes+cfg.LineSize)
+			m.Sheet.Inc(stats.L2RemoteHits)
+		}
+		if m.L2[home].Write(line, ver) {
+			m.Sheet.Inc(stats.L2Hits)
+			m.BookL2(home, cfg.LineSize)
+			return AccessResult{Cycles: cy, Level: levelFor(local)}
+		}
+		m.Sheet.Inc(stats.L2Misses)
+		m.BookL2(home, cfg.LineSize+cfg.LineSize/2)
+		p.fillHome(home, line, ver, true)
+		return AccessResult{Cycles: cy, Level: levelFor(local)}
+	}
+
+	// Read path: L1, then the home bank.
+	if ver, hit := m.L1Read(chiplet, cu, line); hit {
+		m.Mem.Observe(line, ver)
+		return AccessResult{Cycles: cfg.L1Latency, Level: LevelL1}
+	}
+	m.Sheet.Inc(stats.L2Accesses)
+	cy := cfg.L2LocalLatency
+	if !local {
+		cy = m.RemoteLatency(chiplet, home)
+		m.Fabric.Remote(chiplet, home, reqBytes+cfg.LineSize)
+	}
+	if ver, hit := m.L2[home].Read(line); hit {
+		m.Sheet.Inc(stats.L2Hits)
+		m.BookL2(home, cfg.LineSize)
+		if !local {
+			m.Sheet.Inc(stats.L2RemoteHits)
+		}
+		m.Mem.Observe(line, ver)
+		m.L1Fill(chiplet, cu, line, ver)
+		return AccessResult{Cycles: cy, Level: levelFor(local)}
+	}
+	m.Sheet.Inc(stats.L2Misses)
+	m.BookL2(home, cfg.LineSize+cfg.LineSize/2)
+	ver, extra := m.L3Read(line, home, home)
+	m.Mem.Observe(line, ver)
+	p.fillHome(home, line, ver, false)
+	m.L1Fill(chiplet, cu, line, ver)
+	return AccessResult{Cycles: cy + extra - cfg.L3Latency, Level: LevelL3}
+}
+
+func levelFor(local bool) Level {
+	if local {
+		return LevelL2
+	}
+	return LevelL2Remote
+}
+
+// fillHome installs a line in its home bank, writing dirty victims back.
+func (p *RemoteBank) fillHome(home int, line mem.Addr, ver uint32, dirty bool) {
+	if ev := p.M.L2[home].Fill(line, ver, dirty); ev.Evicted && ev.Dirty {
+		p.M.CommitWriteback(ev.Line, ev.Ver, home)
+	}
+}
+
+// Finalize flushes all banks' dirty lines at program end.
+func (p *RemoteBank) Finalize() SyncPlan {
+	var plan SyncPlan
+	for c := 0; c < p.M.Cfg.NumChiplets; c++ {
+		plan.Ops = append(plan.Ops, SyncOp{Chiplet: c, Kind: Release})
+	}
+	return plan
+}

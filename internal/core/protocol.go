@@ -1,0 +1,182 @@
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Protocol is CPElide as a pluggable coherence policy: the baseline
+// VIPER-chiplet access path (CPElide changes no coherence protocol and no
+// cache structure), with the Chiplet Coherence Table deciding which
+// chiplet-targeted acquires and releases — if any — each kernel launch
+// performs.
+type Protocol struct {
+	*coherence.Baseline
+	Table *Table
+}
+
+// Options tunes CPElide variants for the ablation studies.
+type Options struct {
+	// RangeOps enables the fine-grained hardware range-flush extension
+	// (Section VI): operations invalidate/flush only the tracked address
+	// ranges instead of the whole L2.
+	RangeOps bool
+	// TableEntries overrides the Chiplet Coherence Table capacity
+	// (default: the machine configuration's 8 structures x 8 kernels).
+	TableEntries int
+}
+
+// New builds CPElide over machine m with default options.
+func New(m *machine.Machine) *Protocol { return NewWithOptions(m, Options{}) }
+
+// NewWithOptions builds CPElide over machine m.
+func NewWithOptions(m *machine.Machine, o Options) *Protocol {
+	entries := m.Cfg.TableEntries()
+	if o.TableEntries > 0 {
+		entries = o.TableEntries
+	}
+	return &Protocol{
+		Baseline: coherence.NewBaseline(m),
+		Table: NewTable(Config{
+			Chiplets:          m.Cfg.NumChiplets,
+			MaxDataStructures: m.Cfg.TableMaxDataStructures,
+			MaxEntries:        entries,
+			RangeOps:          o.RangeOps,
+		}),
+	}
+}
+
+// Name implements coherence.Protocol.
+func (p *Protocol) Name() string { return "CPElide" }
+
+// PreLaunch consults the Chiplet Coherence Table and converts its decisions
+// into synchronization operations. The elision statistics compare against
+// the baseline's 2*N ops (one flush and one invalidate per chiplet) per
+// kernel boundary.
+func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
+	m := p.M
+	cfg := &m.Cfg
+	if cfg.IsMonolithic() {
+		return coherence.SyncPlan{CPCycles: cfg.CPLatencyCycles()}
+	}
+
+	views := p.argViews(l)
+	ops := p.Table.OnKernelLaunch(views)
+
+	plan := coherence.SyncPlan{
+		CPCycles: cfg.CPLatencyCycles() + cfg.CPElideOverheadCycles(),
+	}
+	releases, acquires := 0, 0
+	for _, op := range ops {
+		kind := coherence.Acquire
+		if op.Flush {
+			kind = coherence.Release
+			releases++
+		} else {
+			acquires++
+		}
+		plan.Ops = append(plan.Ops, coherence.SyncOp{
+			Chiplet: op.Chiplet,
+			Kind:    kind,
+			Ranges:  op.Ranges,
+		})
+	}
+	// One request + one ack per op, plus a launch-enable per target chiplet.
+	plan.Messages = 2*len(ops) + len(l.Chiplets)
+
+	m.Sheet.Add(stats.ReleasesIssued, uint64(releases))
+	m.Sheet.Add(stats.AcquiresIssued, uint64(acquires))
+	n := uint64(cfg.NumChiplets)
+	m.Sheet.Add(stats.ReleasesElided, n-minu(uint64(releases), n))
+	m.Sheet.Add(stats.AcquiresElided, n-minu(uint64(acquires), n))
+	m.Sheet.Max(stats.TablePeakUse, uint64(p.Table.PeakEntries))
+	m.Sheet.Set(stats.TableCoarsening, uint64(p.Table.Coarsenings))
+	return plan
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// argViews converts a launch's argument metadata into the table's input:
+// per-argument, per-machine-chiplet declared ranges plus the cacheable
+// subset (locally homed pages — the protocol never caches remote lines, and
+// the global CP makes the placement decisions, so it knows the homes).
+func (p *Protocol) argViews(l *coherence.Launch) []ArgView {
+	n := p.M.Cfg.NumChiplets
+	views := make([]ArgView, 0, len(l.Kernel.Args))
+	for ai, a := range l.Kernel.Args {
+		v := ArgView{
+			Base:      a.DS.Base,
+			Full:      a.DS.Range(),
+			Mode:      a.Mode,
+			Ranges:    make([]mem.RangeSet, n),
+			Cacheable: make([]mem.RangeSet, n),
+		}
+		atomicScatter := a.Pattern == kernels.Indirect && a.Mode == kernels.ReadWrite
+		for slot, c := range l.Chiplets {
+			v.Ranges[c] = l.ArgRanges[ai][slot]
+			if atomicScatter {
+				// Atomic scatter updates execute at the home ordering
+				// point and never allocate in the requester's L2, and the
+				// CP sees the atomic opcodes in the kernel object — so the
+				// table need not track these accesses as cacheable. Their
+				// writes still stale other chiplets' copies (Ranges).
+				continue
+			}
+			v.Cacheable[c] = p.homedSubset(c, l.ArgRanges[ai][slot])
+		}
+		views = append(views, v)
+	}
+	return views
+}
+
+// homedSubset returns the pages of rs homed on chiplet c. Unplaced pages
+// are included conservatively (they could be first-touched by c).
+func (p *Protocol) homedSubset(c int, rs mem.RangeSet) mem.RangeSet {
+	pages := p.M.Pages
+	ps := mem.Addr(pages.PageSize())
+	var out mem.RangeSet
+	for _, r := range rs.Ranges() {
+		runStart := mem.Addr(0)
+		inRun := false
+		for lo := r.Lo &^ (ps - 1); lo < r.Hi; lo += ps {
+			h := pages.HomeIfPlaced(lo)
+			mine := h == c || h < 0
+			if mine && !inRun {
+				runStart, inRun = lo, true
+			}
+			if !mine && inRun {
+				out.Add(mem.Range{Lo: runStart, Hi: lo}.Intersect(r))
+				inRun = false
+			}
+		}
+		if inRun {
+			out.Add(mem.Range{Lo: runStart, Hi: r.Hi}.Intersect(r))
+		}
+	}
+	return out
+}
+
+// Finalize flushes the chiplets the table still tracks as Dirty — the only
+// end-of-program releases CPElide needs.
+func (p *Protocol) Finalize() coherence.SyncPlan {
+	if p.M.Cfg.IsMonolithic() {
+		return p.Baseline.Finalize()
+	}
+	var plan coherence.SyncPlan
+	for _, op := range p.Table.FinalizeOps() {
+		plan.Ops = append(plan.Ops, coherence.SyncOp{
+			Chiplet: op.Chiplet,
+			Kind:    coherence.Release,
+			Ranges:  op.Ranges,
+		})
+	}
+	return plan
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// rangeTable returns a table in fine-grained range-operation mode.
+func rangeTable() *Table {
+	return NewTable(Config{Chiplets: nChiplets, RangeOps: true})
+}
+
+// TestRangeOpsSelectiveStateTransitions: in range mode a flush or
+// invalidation only affects table rows whose tracked ranges the operation
+// covers — unlike whole-cache mode, where every row on the chiplet
+// transitions.
+func TestRangeOpsSelectiveStateTransitions(t *testing.T) {
+	tb := rangeTable()
+	wholeA := mem.Range{Lo: base0, Hi: base0 + 0x100000}
+	baseB := base0 + 0x1000000
+	wholeB := mem.Range{Lo: baseB, Hi: baseB + 0x100000}
+
+	// Chiplet 0 dirties two structures.
+	tb.OnKernelLaunch([]ArgView{
+		view(base0, 0x100000, kernels.ReadWrite, map[int]mem.Range{0: wholeA}),
+		view(baseB, 0x100000, kernels.ReadWrite, map[int]mem.Range{0: wholeB}),
+	})
+	// Chiplet 1 consumes only structure A: the range-based release must
+	// clean A on chiplet 0 and leave B dirty.
+	ops := tb.OnKernelLaunch([]ArgView{
+		view(base0, 0x100000, kernels.Read, map[int]mem.Range{1: wholeA}),
+	})
+	if len(ops) != 1 || !ops[0].Flush || ops[0].Ranges.Empty() {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Ranges.Overlaps(wholeB) {
+		t.Error("range op covers the unrelated structure")
+	}
+	if tb.StateOf(base0, 0) != Valid {
+		t.Errorf("flushed structure state = %v", tb.StateOf(base0, 0))
+	}
+	if tb.StateOf(baseB, 0) != Dirty {
+		t.Errorf("unrelated structure transitioned: %v (whole-cache semantics leaked)",
+			tb.StateOf(baseB, 0))
+	}
+}
+
+// TestRangeOpsAcquireCoversTrackedRanges: a deferred acquire in range mode
+// invalidates exactly the stale chiplet's tracked ranges.
+func TestRangeOpsAcquireCoversTrackedRanges(t *testing.T) {
+	tb := rangeTable()
+	whole := mem.Range{Lo: base0, Hi: base0 + 0x100000}
+	half := mem.Range{Lo: base0, Hi: base0 + 0x80000}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x100000, kernels.Read, map[int]mem.Range{0: half})})
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x100000, kernels.ReadWrite, map[int]mem.Range{1: whole})})
+	if tb.StateOf(base0, 0) != Stale {
+		t.Fatalf("state = %v", tb.StateOf(base0, 0))
+	}
+	ops := tb.OnKernelLaunch([]ArgView{view(base0, 0x100000, kernels.Read, map[int]mem.Range{0: half})})
+	var acquire *Op
+	for i := range ops {
+		if !ops[i].Flush && ops[i].Chiplet == 0 {
+			acquire = &ops[i]
+		}
+	}
+	if acquire == nil {
+		t.Fatalf("no acquire for chiplet 0: %+v", ops)
+	}
+	if !acquire.Ranges.Overlaps(half) {
+		t.Error("acquire ranges miss the stale tracked range")
+	}
+}
+
+func TestMergeStateConservativeOrder(t *testing.T) {
+	cases := []struct{ a, b, want State }{
+		{Dirty, Stale, Dirty},
+		{Stale, Dirty, Dirty},
+		{Stale, Valid, Stale},
+		{Valid, NotPresent, Valid},
+		{NotPresent, NotPresent, NotPresent},
+		{Dirty, Dirty, Dirty},
+	}
+	for _, c := range cases {
+		if got := mergeState(c.a, c.b); got != c.want {
+			t.Errorf("mergeState(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestLookupMergesOverlappingRows: a coarsened argument spanning two
+// existing rows collapses them into one conservative row.
+func TestLookupMergesOverlappingRows(t *testing.T) {
+	tb := newTestTable()
+	r0 := mem.Range{Lo: base0, Hi: base0 + 0x1000}
+	b1 := base0 + 0x1000
+	r1 := mem.Range{Lo: b1, Hi: b1 + 0x1000}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x1000, kernels.ReadWrite, map[int]mem.Range{0: r0})})
+	tb.OnKernelLaunch([]ArgView{view(b1, 0x1000, kernels.Read, map[int]mem.Range{1: r1})})
+	if tb.Len() != 2 {
+		t.Fatalf("setup rows = %d", tb.Len())
+	}
+	// An argument spanning both structures (as coarsening would produce).
+	span := view(base0, 0x2000, kernels.Read, map[int]mem.Range{2: {Lo: base0, Hi: base0 + 0x2000}})
+	ops := tb.OnKernelLaunch([]ArgView{span})
+	if tb.Len() != 1 {
+		t.Fatalf("rows after merge = %d, want 1", tb.Len())
+	}
+	// The merged row preserved chiplet 0's Dirty (and the consumer on
+	// chiplet 2 triggered its release).
+	var flushed0 bool
+	for _, op := range ops {
+		if op.Flush && op.Chiplet == 0 {
+			flushed0 = true
+		}
+	}
+	if !flushed0 {
+		t.Errorf("merged row lost the dirty state: ops %+v", ops)
+	}
+}
+
+func TestRangeOfAndUnknownBase(t *testing.T) {
+	tb := newTestTable()
+	r := mem.Range{Lo: base0, Hi: base0 + 0x1000}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x1000, kernels.Read, map[int]mem.Range{2: r})})
+	if got := tb.RangeOf(base0, 2); !got.Overlaps(r) {
+		t.Errorf("RangeOf = %v", got)
+	}
+	if !tb.RangeOf(base0, 0).Empty() {
+		t.Error("non-accessing chiplet has tracked ranges")
+	}
+	if tb.StateOf(0xDEAD000, 1) != NotPresent {
+		t.Error("unknown base not NotPresent")
+	}
+	if !tb.RangeOf(0xDEAD000, 1).Empty() {
+		t.Error("unknown base has ranges")
+	}
+}
+
+// TestFinalizeRangeMode covers FinalizeOps in range-op mode.
+func TestFinalizeRangeMode(t *testing.T) {
+	tb := rangeTable()
+	whole := mem.Range{Lo: base0, Hi: base0 + 0x1000}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x1000, kernels.ReadWrite, map[int]mem.Range{3: whole})})
+	ops := tb.FinalizeOps()
+	if len(ops) != 1 || !ops[0].Flush || ops[0].Chiplet != 3 {
+		t.Fatalf("finalize ops = %+v", ops)
+	}
+}
+
+// TestNoRangeInfoDegradesGracefully: whole-structure declarations (the
+// hipSetAccessMode-only ablation) still produce correct, if conservative,
+// operations: disjoint writers appear to conflict and must synchronize.
+func TestNoRangeInfoDegradesGracefully(t *testing.T) {
+	tb := newTestTable()
+	whole := mem.Range{Lo: base0, Hi: base0 + 0x100000}
+	all := map[int]mem.Range{0: whole, 1: whole, 2: whole, 3: whole}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x100000, kernels.ReadWrite, all)})
+	ops := tb.OnKernelLaunch([]ArgView{view(base0, 0x100000, kernels.ReadWrite, all)})
+	if len(ops) == 0 {
+		t.Error("mode-only overlapping writers produced no synchronization")
+	}
+}

@@ -1,0 +1,266 @@
+// Package cp models the redesigned command-processor hierarchy of Figure 4b:
+// a global CP that interfaces with the host, holds the hardware queues, and
+// dispatches work across chiplets, plus per-chiplet local CPs that dispatch
+// WGs and execute cache maintenance. Streams map to hardware queues; kernels
+// within a stream execute in order while different streams run concurrently
+// on their bound chiplets (the paper binds stream i to chiplet set j via
+// hipSetDevice).
+package cp
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/event"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// StreamSpec is one GPU stream: a kernel sequence bound to a chiplet set.
+type StreamSpec struct {
+	Workload *kernels.Workload
+	// Chiplets binds the stream; nil binds it to all chiplets.
+	Chiplets []int
+}
+
+// Record is the execution record of one dynamic kernel.
+type Record struct {
+	Launch *coherence.Launch
+	Start  event.Time
+	End    event.Time
+	Result gpu.KernelResult
+}
+
+// PagePlacement selects the NUMA page placement policy (Section IV-C1 uses
+// first touch; the paper notes "different placement policies can skew
+// performance").
+type PagePlacement uint8
+
+const (
+	// PlacementFirstTouch homes each page on its overwhelming first
+	// toucher: partition-aligned for partitioned structures, interleaved
+	// for broadcast/gather structures every chiplet races to.
+	PlacementFirstTouch PagePlacement = iota
+	// PlacementInterleaved round-robins every structure's pages across
+	// the stream's chiplets.
+	PlacementInterleaved
+	// PlacementSingle homes everything on the stream's first chiplet —
+	// the naive "allocate on device 0" policy with maximal remote traffic.
+	PlacementSingle
+)
+
+// RunnerConfig selects the software-visible policies of a run.
+type RunnerConfig struct {
+	// RangeInfo selects hipSetAccessModeRange metadata (per-chiplet
+	// ranges); false degrades to hipSetAccessMode (whole-structure ranges
+	// per assigned chiplet), the annotation ablation.
+	RangeInfo bool
+	// Placement is the page placement policy.
+	Placement PagePlacement
+	// InferAnnotations derives each launch's declared ranges from a
+	// profiling pass over its actual accesses (record-and-replay style
+	// automation of the paper's annotations) instead of static analysis.
+	InferAnnotations bool
+}
+
+// Runner owns the global CP's dispatch loop over the event engine.
+type Runner struct {
+	Eng *event.Engine
+	X   *gpu.Executor
+	Cfg RunnerConfig
+
+	streams     []*streamState
+	chipletBusy []event.Time
+	Records     []Record
+}
+
+type streamState struct {
+	id       int
+	chiplets []int
+	launches []*coherence.Launch
+	next     int
+	prevEnd  event.Time
+	started  bool
+}
+
+// NewRunner builds a runner for the given streams on executor x.
+func NewRunner(x *gpu.Executor, specs []StreamSpec, rc RunnerConfig) (*Runner, error) {
+	m := x.M
+	r := &Runner{
+		Eng:         event.New(),
+		X:           x,
+		Cfg:         rc,
+		chipletBusy: make([]event.Time, m.Cfg.NumChiplets),
+	}
+	for i, spec := range specs {
+		if err := spec.Workload.Validate(); err != nil {
+			return nil, err
+		}
+		chs := spec.Chiplets
+		if len(chs) == 0 {
+			chs = allChiplets(m.Cfg.NumChiplets)
+		}
+		for _, c := range chs {
+			if c < 0 || c >= m.Cfg.NumChiplets {
+				return nil, fmt.Errorf("cp: stream %d bound to invalid chiplet %d", i, c)
+			}
+		}
+		ss := &streamState{id: i, chiplets: chs}
+		for inst, k := range spec.Workload.Sequence {
+			l := BuildLaunch(k, inst, i, chs, m.Cfg.LineSize, rc.RangeInfo)
+			if rc.InferAnnotations {
+				l.ArgRanges = InferArgRanges(k, inst, spec.Workload.Seed,
+					len(chs), m.Cfg.CUsPerChiplet, m.Cfg.LineSize, m.Cfg.PageSize)
+			}
+			ss.launches = append(ss.launches, l)
+		}
+		r.streams = append(r.streams, ss)
+		prePlace(m, spec.Workload, chs, rc.Placement)
+	}
+	return r, nil
+}
+
+func allChiplets(n int) []int {
+	chs := make([]int, n)
+	for i := range chs {
+		chs[i] = i
+	}
+	return chs
+}
+
+// BuildLaunch assembles the launch packet the global CP's packet processor
+// consumes: the kernel plus per-argument, per-chiplet range metadata.
+func BuildLaunch(k *kernels.Kernel, inst, stream int, chiplets []int, lineSize int, rangeInfo bool) *coherence.Launch {
+	l := &coherence.Launch{
+		Kernel:   k,
+		Inst:     inst,
+		Stream:   stream,
+		Chiplets: chiplets,
+	}
+	l.ArgRanges = make([][]mem.RangeSet, len(k.Args))
+	for ai := range k.Args {
+		l.ArgRanges[ai] = make([]mem.RangeSet, len(chiplets))
+		for slot := range chiplets {
+			if rangeInfo {
+				l.ArgRanges[ai][slot] = kernels.ArgRanges(k, ai, slot, len(chiplets), lineSize)
+			} else {
+				// hipSetAccessMode only: mode is known, ranges are not, so
+				// every assigned chiplet conservatively declares the full
+				// structure.
+				l.ArgRanges[ai][slot] = mem.NewRangeSet(k.Args[ai].DS.Range())
+			}
+		}
+	}
+	return l
+}
+
+// prePlace warms first-touch page placement to what racing WGs on a live
+// GPU converge to. Serial trace processing would otherwise home pages on
+// whichever chiplet happens to be processed first — e.g. a neighbor's
+// single halo-line read would win a boundary page its owner touches 4096
+// times, and broadcast sweeps would home everything on chiplet 0.
+//
+//   - Linear / Strided / Stencil structures: each page goes to the chiplet
+//     whose WG partition covers it in the first kernel that uses the
+//     structure (the overwhelming first toucher).
+//   - Broadcast / Indirect structures: pages interleave round-robin across
+//     the stream's chiplets (every chiplet races every page).
+func prePlace(m *machine.Machine, w *kernels.Workload, chiplets []int, policy PagePlacement) {
+	if m.Cfg.NumChiplets == 1 {
+		return
+	}
+	if policy == PlacementSingle {
+		for _, d := range w.Structures {
+			m.Pages.PlaceRange(d.Range(), chiplets[0])
+		}
+		return
+	}
+	interleave := func(d *kernels.DataStructure) {
+		ps := uint64(m.Cfg.PageSize)
+		r := d.Range()
+		i := 0
+		for lo := r.Lo; lo < r.Hi; lo += ps {
+			hi := lo + ps
+			if hi > r.Hi {
+				hi = r.Hi
+			}
+			m.Pages.PlaceRange(mem.Range{Lo: lo, Hi: hi}, chiplets[i%len(chiplets)])
+			i++
+		}
+	}
+	if policy == PlacementInterleaved {
+		for _, d := range w.Structures {
+			interleave(d)
+		}
+		return
+	}
+	placed := map[*kernels.DataStructure]bool{}
+	for _, k := range w.Sequence {
+		for ai := range k.Args {
+			a := &k.Args[ai]
+			if placed[a.DS] {
+				continue
+			}
+			placed[a.DS] = true
+			if a.Pattern == kernels.Broadcast || a.Pattern == kernels.Indirect {
+				interleave(a.DS)
+				continue
+			}
+			for slot, c := range chiplets {
+				r := kernels.PartitionByteRange(a.DS, k.WGs, len(chiplets), slot, m.Cfg.LineSize)
+				m.Pages.PlaceRange(r, c)
+			}
+		}
+	}
+}
+
+// Run executes all streams to completion and returns the total cycle count
+// (including the end-of-program releases).
+func (r *Runner) Run() uint64 {
+	r.Eng.Schedule(0, event.HandlerFunc(r.dispatch), nil)
+	end := r.Eng.Run()
+	total := uint64(end) + r.X.Finalize()
+	r.X.M.Sheet.Set(stats.TotalCycles, total)
+	return total
+}
+
+// dispatch issues every stream whose head kernel is ready at the current
+// time, then relies on completion events to re-trigger.
+func (r *Runner) dispatch(event.Event) {
+	now := r.Eng.Now()
+	for _, ss := range r.streams {
+		for ss.next < len(ss.launches) && r.ready(ss, now) {
+			l := ss.launches[ss.next]
+			exposeCP := !ss.started
+			ss.started = true
+			res := r.X.RunKernel(l, exposeCP)
+			endT := now + event.Time(res.Cycles)
+			r.Records = append(r.Records, Record{Launch: l, Start: now, End: endT, Result: res})
+			ss.prevEnd = endT
+			for _, c := range ss.chiplets {
+				r.chipletBusy[c] = endT
+			}
+			ss.next++
+			if endT > now {
+				r.Eng.Schedule(endT, event.HandlerFunc(r.dispatch), nil)
+				break // later kernels of this stream wait for completion
+			}
+		}
+	}
+}
+
+// ready reports whether stream ss's next kernel can start now.
+func (r *Runner) ready(ss *streamState, now event.Time) bool {
+	if ss.prevEnd > now {
+		return false
+	}
+	for _, c := range ss.chiplets {
+		if r.chipletBusy[c] > now {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package cp
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// InferArgRanges profiles one dynamic kernel instance and returns the
+// page-granularity address ranges each chiplet partition actually touches,
+// per argument — the record-and-replay automation of the paper's
+// annotations (Section VI: "recent compiler and runtime work showed that
+// identifying such information can potentially be automated"). The result
+// has the same shape as Launch.ArgRanges: [argument][partition slot].
+//
+// Because access generation is deterministic, the recorded ranges cover the
+// replayed accesses exactly; they are typically much tighter than static
+// annotations for indirect arguments (which must otherwise declare the
+// whole structure).
+func InferArgRanges(k *kernels.Kernel, inst int, seed uint64, nparts, cus, lineSize, pageSize int) [][]mem.RangeSet {
+	out := make([][]mem.RangeSet, len(k.Args))
+	for ai := range out {
+		out[ai] = make([]mem.RangeSet, nparts)
+	}
+	pageMask := ^mem.Addr(pageSize - 1)
+	for slot := 0; slot < nparts; slot++ {
+		pages := make([]map[mem.Addr]bool, len(k.Args))
+		for ai := range pages {
+			pages[ai] = map[mem.Addr]bool{}
+		}
+		kernels.Generate(k, inst, seed, slot, nparts, cus, lineSize,
+			func(a kernels.Access) {
+				pages[a.Arg][a.Line&pageMask] = true
+			})
+		for ai := range pages {
+			var rs mem.RangeSet
+			for p := range pages[ai] {
+				rs.Add(mem.Range{Lo: p, Hi: p + mem.Addr(pageSize)})
+			}
+			out[ai][slot] = rs
+		}
+	}
+	return out
+}

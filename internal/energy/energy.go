@@ -1,0 +1,76 @@
+// Package energy converts simulation counters into the memory-subsystem
+// energy breakdown of Figure 9: L1 instruction+data caches, LDS, L2, NoC,
+// and DRAM. The per-access energies follow the prior-work models the paper
+// leverages (per-access SRAM energies scaling with capacity, interconnect
+// energy per flit, and DRAM row energy dominating), scaled for the
+// multi-chiplet hierarchy. Only relative magnitudes matter for reproducing
+// the figure, since CPElide only impacts the memory subsystem.
+package energy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Per-event energies in picojoules.
+const (
+	L1AccessPJ   = 10   // 16 KiB SRAM access
+	LDSAccessPJ  = 6    // scratchpad word access
+	L2AccessPJ   = 55   // 8 MiB SRAM access
+	L3AccessPJ   = 90   // 16 MiB LLC access
+	NoCFlitPJ    = 26   // on-package hop per 16 B flit
+	RemoteFlitPJ = 64   // inter-chiplet crossbar crossing per flit
+	DRAMLinePJ   = 1300 // HBM 64 B transfer
+)
+
+// Breakdown is the Figure 9 decomposition, in picojoules.
+type Breakdown struct {
+	L1   float64
+	LDS  float64
+	L2   float64
+	NoC  float64
+	DRAM float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.L1 + b.LDS + b.L2 + b.NoC + b.DRAM }
+
+// FromSheet computes the breakdown from a run's counters. L3 accesses are
+// folded into the NoC+DRAM side of the hierarchy the way the paper's figure
+// groups "NoC" (network + shared LLC) against per-chiplet components.
+func FromSheet(s *stats.Sheet) Breakdown {
+	var b Breakdown
+	b.L1 = float64(s.Get(stats.L1Accesses)) * L1AccessPJ
+	b.LDS = float64(s.Get(stats.LDSAccesses)) * LDSAccessPJ
+	b.L2 = float64(s.Get(stats.L2Accesses)+s.Get(stats.L2Writebacks)+s.Get(stats.L2Invalidates)/8) * L2AccessPJ
+	b.NoC = float64(s.Get(stats.FlitsL1L2))*NoCFlitPJ +
+		float64(s.Get(stats.FlitsL2L3))*NoCFlitPJ +
+		float64(s.Get(stats.FlitsRemote))*RemoteFlitPJ +
+		float64(s.Get(stats.L3Accesses))*L3AccessPJ
+	b.DRAM = float64(s.Get(stats.DRAMReads)+s.Get(stats.DRAMWrites)) * DRAMLinePJ
+	return b
+}
+
+// Ratio returns b's total relative to base's total (1.0 = equal).
+func Ratio(b, base Breakdown) float64 {
+	t := base.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Total() / t
+}
+
+// String renders the breakdown with component percentages.
+func (b Breakdown) String() string {
+	t := b.Total()
+	if t == 0 {
+		return "energy: 0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %.3g pJ [", t)
+	fmt.Fprintf(&sb, "L1 %.1f%% LDS %.1f%% L2 %.1f%% NoC %.1f%% DRAM %.1f%%]",
+		100*b.L1/t, 100*b.LDS/t, 100*b.L2/t, 100*b.NoC/t, 100*b.DRAM/t)
+	return sb.String()
+}

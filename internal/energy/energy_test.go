@@ -1,0 +1,74 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBreakdownFromSheet(t *testing.T) {
+	s := stats.New()
+	s.Add(stats.L1Accesses, 100)
+	s.Add(stats.LDSAccesses, 50)
+	s.Add(stats.L2Accesses, 10)
+	s.Add(stats.FlitsL1L2, 4)
+	s.Add(stats.FlitsRemote, 2)
+	s.Add(stats.L3Accesses, 3)
+	s.Add(stats.DRAMReads, 1)
+	s.Add(stats.DRAMWrites, 1)
+
+	b := FromSheet(s)
+	if b.L1 != 100*L1AccessPJ {
+		t.Errorf("L1 = %v", b.L1)
+	}
+	if b.LDS != 50*LDSAccessPJ {
+		t.Errorf("LDS = %v", b.LDS)
+	}
+	if b.DRAM != 2*DRAMLinePJ {
+		t.Errorf("DRAM = %v", b.DRAM)
+	}
+	wantNoC := 4.0*NoCFlitPJ + 2.0*RemoteFlitPJ + 3.0*L3AccessPJ
+	if b.NoC != wantNoC {
+		t.Errorf("NoC = %v, want %v", b.NoC, wantNoC)
+	}
+	if b.Total() != b.L1+b.LDS+b.L2+b.NoC+b.DRAM {
+		t.Error("Total inconsistent")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	a := Breakdown{L1: 50}
+	b := Breakdown{L1: 100}
+	if Ratio(a, b) != 0.5 {
+		t.Errorf("Ratio = %v", Ratio(a, b))
+	}
+	if Ratio(a, Breakdown{}) != 0 {
+		t.Error("Ratio with zero base should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Breakdown{}).String(); got != "energy: 0" {
+		t.Errorf("zero String = %q", got)
+	}
+	out := (Breakdown{L1: 1, DRAM: 3}).String()
+	if !strings.Contains(out, "DRAM") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+// TestRelativeMagnitudes pins the ordering the Figure 9 analysis relies on:
+// DRAM transfers cost far more than SRAM accesses, and crossing the
+// inter-chiplet crossbar costs more than an on-chiplet hop.
+func TestRelativeMagnitudes(t *testing.T) {
+	if DRAMLinePJ < 10*L2AccessPJ {
+		t.Error("DRAM should dominate L2 per access")
+	}
+	if RemoteFlitPJ <= NoCFlitPJ {
+		t.Error("crossbar crossing should exceed on-chiplet hop")
+	}
+	if L1AccessPJ >= L2AccessPJ {
+		t.Error("L1 should be cheaper than L2")
+	}
+}

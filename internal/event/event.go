@@ -1,0 +1,127 @@
+// Package event provides the discrete-event simulation engine that sequences
+// kernel launches, synchronization operations, and completions across
+// chiplets and streams.
+//
+// The engine is a classic calendar: handlers schedule events at absolute
+// cycle times; Run pops them in time order and invokes their handlers, which
+// may schedule further events. Ties are broken by insertion order so
+// simulations are deterministic.
+package event
+
+import "container/heap"
+
+// Time is an absolute simulation time in GPU core cycles.
+type Time uint64
+
+// Handler consumes an event when the simulation clock reaches its time.
+type Handler interface {
+	// Handle processes the event. It runs exactly once, at the event's
+	// scheduled time, with the engine clock already advanced.
+	Handle(e Event)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(e Event)
+
+// Handle calls f(e).
+func (f HandlerFunc) Handle(e Event) { f(e) }
+
+// Event is one scheduled occurrence.
+type Event struct {
+	When    Time
+	Handler Handler
+	Payload any
+
+	seq uint64 // tie-break: FIFO among events at the same time
+}
+
+// queue implements heap.Interface ordered by (When, seq).
+type queue []*Event
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].When != q[j].When {
+		return q[i].When < q[j].When
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the simulation clock and the pending-event calendar.
+// The zero value is ready to use.
+type Engine struct {
+	now     Time
+	pending queue
+	nextSeq uint64
+	stopped bool
+}
+
+// New returns an Engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events not yet delivered.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Schedule enqueues an event for handler h at absolute time t with the given
+// payload. Scheduling in the past (t < Now) panics: it indicates a causality
+// bug in the caller.
+func (e *Engine) Schedule(t Time, h Handler, payload any) {
+	if t < e.now {
+		panic("event: scheduled in the past")
+	}
+	ev := &Event{When: t, Handler: h, Payload: payload, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.pending, ev)
+}
+
+// ScheduleAfter enqueues an event delta cycles after the current time.
+func (e *Engine) ScheduleAfter(delta Time, h Handler, payload any) {
+	e.Schedule(e.now+delta, h, payload)
+}
+
+// Stop makes Run return after the current event's handler completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run delivers events in time order until the calendar drains or Stop is
+// called, and returns the final clock value.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.pending) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pending).(*Event)
+		e.now = ev.When
+		ev.Handler.Handle(*ev)
+	}
+	return e.now
+}
+
+// Step delivers exactly one event, if any, and reports whether one was
+// delivered.
+func (e *Engine) Step() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pending).(*Event)
+	e.now = ev.When
+	ev.Handler.Handle(*ev)
+	return true
+}
+
+// Reset drops all pending events and rewinds the clock to zero.
+func (e *Engine) Reset() {
+	e.pending = nil
+	e.now = 0
+	e.nextSeq = 0
+	e.stopped = false
+}

@@ -1,0 +1,136 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []Time
+	h := HandlerFunc(func(ev Event) { got = append(got, ev.When) })
+	for _, when := range []Time{50, 10, 30, 20, 40} {
+		e.Schedule(when, h, nil)
+	}
+	end := e.Run()
+	if end != 50 {
+		t.Errorf("final clock = %d", end)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("delivery out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("delivered %d events", len(got))
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, HandlerFunc(func(Event) { got = append(got, i) }), nil)
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := New()
+	count := 0
+	var h HandlerFunc
+	h = func(ev Event) {
+		count++
+		if count < 5 {
+			e.ScheduleAfter(7, h, nil)
+		}
+	}
+	e.Schedule(0, h, nil)
+	end := e.Run()
+	if count != 5 || end != 28 {
+		t.Errorf("count=%d end=%d, want 5, 28", count, end)
+	}
+}
+
+func TestEnginePayloadAndNow(t *testing.T) {
+	e := New()
+	e.Schedule(5, HandlerFunc(func(ev Event) {
+		if ev.Payload.(string) != "x" {
+			t.Error("payload lost")
+		}
+		if e.Now() != 5 {
+			t.Errorf("Now = %d during handler", e.Now())
+		}
+	}), "x")
+	e.Run()
+}
+
+func TestEnginePastSchedulePanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, HandlerFunc(func(Event) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, HandlerFunc(func(Event) {}), nil)
+	}), nil)
+	e.Run()
+}
+
+func TestEngineStopAndStep(t *testing.T) {
+	e := New()
+	n := 0
+	h := HandlerFunc(func(Event) {
+		n++
+		if n == 2 {
+			e.Stop()
+		}
+	})
+	for i := Time(1); i <= 5; i++ {
+		e.Schedule(i, h, nil)
+	}
+	e.Run()
+	if n != 2 {
+		t.Errorf("Stop: ran %d events", n)
+	}
+	if e.Pending() != 3 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	if !e.Step() || n != 3 {
+		t.Error("Step did not deliver one event")
+	}
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Step() {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: any random schedule is delivered in nondecreasing time order and
+// completely.
+func TestEngineOrderProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		e := New()
+		n := rnd.Intn(200)
+		var got []Time
+		h := HandlerFunc(func(ev Event) { got = append(got, ev.When) })
+		for i := 0; i < n; i++ {
+			e.Schedule(Time(rnd.Intn(1000)), h, nil)
+		}
+		e.Run()
+		if len(got) != n {
+			t.Fatalf("delivered %d of %d", len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("out of order at %d: %v < %v", i, got[i], got[i-1])
+			}
+		}
+	}
+}

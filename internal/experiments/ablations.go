@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// HMGWriteBack reproduces the Section IV-C ablation: HMG's write-back L2
+// variant versus its write-through configuration (the paper measured the
+// write-back variant 13% worse geomean, which is why the evaluation uses
+// write-through).
+func HMGWriteBack(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Ablation: HMG write-back L2 variant (speedup vs write-through HMG)",
+		Series:  []string{"WB-vs-WT"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		wt, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
+		if err != nil {
+			return nil, err
+		}
+		wb, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMGWriteBack})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"WB-vs-WT": wb.Speedup(wt)},
+		})
+	}
+	summarize(res, "WB-vs-WT")
+	return res, nil
+}
+
+// RangeOps measures the Section VI fine-grained hardware range-flush
+// extension: operations target only the tracked address ranges instead of
+// whole L2s.
+func RangeOps(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Ablation: fine-grained range-based flush/invalidate (speedup vs default CPElide)",
+		Series:  []string{"range-ops"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		def, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		rng, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, CPElideRangeOps: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"range-ops": rng.Speedup(def)},
+		})
+	}
+	summarize(res, "range-ops")
+	return res, nil
+}
+
+// AnnotationGranularity measures hipSetAccessMode-only annotations (modes
+// without address ranges) against the full hipSetAccessModeRange metadata.
+func AnnotationGranularity(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Ablation: hipSetAccessMode only (no ranges) vs hipSetAccessModeRange (speedup)",
+		Series:  []string{"mode-only"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		full, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		modeOnly, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, NoRangeInfo: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"mode-only": modeOnly.Speedup(full)},
+		})
+	}
+	summarize(res, "mode-only")
+	return res, nil
+}
+
+// TableSize sweeps the Chiplet Coherence Table capacity. The paper sizes it
+// at 64 entries (8 data structures x 8 kernels) and reports its workloads
+// peak at 11 entries without overflowing.
+func TableSize(p Params, entries ...int) (*Result, error) {
+	if len(entries) == 0 {
+		entries = []int{4, 8, 16, 64}
+	}
+	series := make([]string, len(entries))
+	for i, e := range entries {
+		series[i] = fmt.Sprintf("entries=%d", e)
+	}
+	res := &Result{
+		Title:   "Ablation: Chiplet Coherence Table capacity (speedup vs 64 entries)",
+		Series:  append(series, "peak-use"),
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		ref, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Workload: name, Class: classOf(name), Values: map[string]float64{
+			"peak-use": float64(ref.Sheet.Get(stats.TablePeakUse)),
+		}}
+		for i, e := range entries {
+			r, err := runOne(name, cfg, p.wp(), cpelide.Options{
+				Protocol: cpelide.ProtocolCPElide, CPElideTableEntries: e,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Values[series[i]] = r.Speedup(ref)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	summarize(res, series...)
+	return res, nil
+}
+
+// DirGranularity compares HMG's 4-lines-per-directory-entry configuration
+// against 1 line per entry (precision vs reach), the design choice the
+// paper blames for HMG's extra invalidations.
+func DirGranularity(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Ablation: HMG directory granularity, 1 line/entry vs 4 (speedup)",
+		Series:  []string{"1-line-entries", "dir-evictions-4", "dir-evictions-1"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		four, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
+		if err != nil {
+			return nil, err
+		}
+		one, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolHMG, HMGDirLinesPerEntry: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values: map[string]float64{
+				"1-line-entries":  one.Speedup(four),
+				"dir-evictions-4": float64(four.Sheet.Get(stats.DirEvictions)),
+				"dir-evictions-1": float64(one.Sheet.Get(stats.DirEvictions)),
+			},
+		})
+	}
+	summarize(res, "1-line-entries")
+	return res, nil
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"repro"
+	"repro/internal/kernels"
+	"repro/internal/workloads"
+)
+
+// Extension studies for the alternatives Section VI discusses qualitatively:
+// driver-managed synchronization, page placement policies, automated
+// annotations, WG scheduling, and kernel fusion.
+
+// DriverManaged quantifies moving CPElide's decision logic to the GPU
+// driver: identical elision, plus a host round trip per kernel launch (the
+// paper: "prior work has shown this adds significant latency, hurting
+// performance ... Conversely, CPElide is tightly integrated with the GPU at
+// the global CP").
+func DriverManaged(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: driver-managed synchronization (speedup vs CP-resident CPElide)",
+		Series:  []string{"driver"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		cpRes, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		drv, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, DriverManaged: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"driver": drv.Speedup(cpRes)},
+		})
+	}
+	summarize(res, "driver")
+	return res, nil
+}
+
+// PagePlacement compares the paper's first-touch policy against interleaved
+// and single-chiplet placement under CPElide (the paper: "sometimes first
+// touch is ineffective and different placement policies can skew
+// performance").
+func PagePlacement(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: page placement policies (speedup vs first touch, CPElide)",
+		Series:  []string{"interleaved", "single"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		ft, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		il, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementInterleaved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sg, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementSingle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values: map[string]float64{
+				"interleaved": il.Speedup(ft),
+				"single":      sg.Speedup(ft),
+			},
+		})
+	}
+	summarize(res, "interleaved", "single")
+	return res, nil
+}
+
+// InferredAnnotations compares profile-derived (record-and-replay) range
+// annotations against the static hipSetAccessModeRange metadata. Inferred
+// ranges are exact, so irregular workloads whose static annotations must
+// conservatively declare whole structures can synchronize less.
+func InferredAnnotations(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: profile-inferred annotations (speedup vs static ranges, CPElide)",
+		Series:  []string{"inferred"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		static, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		inf, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, InferAnnotations: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"inferred": inf.Speedup(static)},
+		})
+	}
+	summarize(res, "inferred")
+	return res, nil
+}
+
+// Scheduling compares the round-robin WG-to-CU assignment against chunked
+// (LADM-style locality-centric) assignment under CPElide.
+func Scheduling(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: chunked WG-to-CU scheduling (speedup vs round-robin, CPElide)",
+		Series:  []string{"chunked"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		rr, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		ch, err := runOne(name, cfg, p.wp(), cpelide.Options{
+			Protocol: cpelide.ProtocolCPElide, Scheduler: cpelide.ChunkedCU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values:   map[string]float64{"chunked": ch.Speedup(rr)},
+		})
+	}
+	summarize(res, "chunked")
+	return res, nil
+}
+
+// KernelFusion compares software kernel fusion on the baseline protocol
+// against CPElide without fusion (Section VI: fusion avoids some boundary
+// synchronization but is limited by pressure and safety, "and the
+// application still requires implicit synchronization").
+func KernelFusion(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: kernel fusion vs CPElide (speedups over unfused Baseline)",
+		Series:  []string{"Base+fusion", "CPElide", "fused-kernels"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		alloc := cpelide.NewAllocator(cfg.PageSize)
+		w, err := workloads.Build(name, alloc, p.wp())
+		if err != nil {
+			return nil, err
+		}
+		base, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: cpelide.ProtocolBaseline})
+		if err != nil {
+			return nil, err
+		}
+		elide, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		fusedW := kernels.FuseAdjacent(w, kernels.FusionConfig{})
+		fused, err := cpelide.Run(cfg, fusedW, cpelide.Options{Protocol: cpelide.ProtocolBaseline})
+		if err != nil {
+			return nil, err
+		}
+		if base.StaleReads+elide.StaleReads+fused.StaleReads != 0 {
+			return nil, errStale(name)
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values: map[string]float64{
+				"Base+fusion":   fused.Speedup(base),
+				"CPElide":       elide.Speedup(base),
+				"fused-kernels": float64(len(w.Sequence) - len(fusedW.Sequence)),
+			},
+		})
+	}
+	summarize(res, "Base+fusion", "CPElide")
+	return res, nil
+}
+
+// RemoteBankComparison evaluates the paper's design alternative (a) — a
+// NUCA-style shared L2 whose remote banks serve every remote access — next
+// to CPElide, both as speedups over the baseline (alternative (b)). It
+// shows the design space the paper positions CPElide inside: (a) gives up
+// locality to avoid synchronization, (b) gives up reuse to stay simple,
+// CPElide keeps both.
+func RemoteBankComparison(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: NUCA remote-bank L2 (alternative (a)) vs CPElide, speedups over Baseline",
+		Series:  []string{"RemoteBank", "CPElide"},
+		Summary: map[string]float64{},
+	}
+	cfg := cpelide.DefaultConfig(4)
+	for _, name := range p.names() {
+		base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
+		if err != nil {
+			return nil, err
+		}
+		rb, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolRemoteBank})
+		if err != nil {
+			return nil, err
+		}
+		elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values: map[string]float64{
+				"RemoteBank": rb.Speedup(base),
+				"CPElide":    elide.Speedup(base),
+			},
+		})
+	}
+	summarize(res, "RemoteBank", "CPElide")
+	return res, nil
+}
+
+// MGPU evaluates the Section VI claim that CPElide also helps multi-GPU
+// systems built from MCM-GPUs: an 8-chiplet system as one package versus
+// two 4-chiplet GPUs joined by the inter-GPU interconnect. Speedups are
+// each protocol's gain over the baseline on the same topology.
+func MGPU(p Params) (*Result, error) {
+	res := &Result{
+		Title:   "Extension: MGPU (2 GPUs x 4 chiplets) vs single 8-chiplet MCM-GPU",
+		Series:  []string{"1gpu-CPElide", "2gpu-CPElide", "2gpu-HMG"},
+		Summary: map[string]float64{},
+	}
+	single := cpelide.DefaultConfig(8)
+	dual := cpelide.MGPUConfig(2, 4)
+	for _, name := range p.names() {
+		b1, err := runOne(name, single, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
+		if err != nil {
+			return nil, err
+		}
+		e1, err := runOne(name, single, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		b2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
+		if err != nil {
+			return nil, err
+		}
+		e2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+		if err != nil {
+			return nil, err
+		}
+		h2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Workload: name,
+			Class:    classOf(name),
+			Values: map[string]float64{
+				"1gpu-CPElide": e1.Speedup(b1),
+				"2gpu-CPElide": e2.Speedup(b2),
+				"2gpu-HMG":     h2.Speedup(b2),
+			},
+		})
+	}
+	summarize(res, "1gpu-CPElide", "2gpu-CPElide", "2gpu-HMG")
+	return res, nil
+}
+
+type staleErr string
+
+func (e staleErr) Error() string { return "experiments: stale reads in " + string(e) }
+
+func errStale(name string) error { return staleErr(name) }

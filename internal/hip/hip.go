@@ -1,0 +1,248 @@
+// Package hip is a small HIP-like runtime mirroring the programming
+// interface the paper adds to ROCm (Listings 1 and 2): device memory
+// allocation, kernel declaration, per-kernel access-mode annotations
+// (hipSetAccessMode), optional per-chiplet address ranges
+// (hipSetAccessModeRange), stream-to-chiplet binding (hipSetDevice), and
+// kernel launches (hipLaunchKernelGGL). It assembles the stream
+// specifications the simulated GPU's command processors consume.
+//
+// Example (the paper's Listing 1):
+//
+//	rt := hip.NewRuntime(4096)
+//	a := rt.Malloc("A", n, 4)
+//	c := rt.Malloc("C", n, 4)
+//	square := rt.Kernel("square", 480, hip.KernelConfig{ComputePerWG: 130})
+//	rt.SetAccessMode(square, c, hip.ReadWrite, hip.Linear)
+//	rt.SetAccessMode(square, a, hip.Read, hip.Linear)
+//	s := rt.Stream()
+//	for i := 0; i < iters; i++ {
+//		rt.LaunchKernelGGL(s, square)
+//	}
+//	specs := rt.Streams()
+package hip
+
+import (
+	"fmt"
+
+	"repro/internal/cp"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// Re-exported annotation constants, so callers need only this package.
+const (
+	// Read is the paper's 'R' access-mode label.
+	Read = kernels.Read
+	// ReadWrite is the paper's 'R/W' access-mode label.
+	ReadWrite = kernels.ReadWrite
+
+	Linear    = kernels.Linear
+	Strided   = kernels.Strided
+	Stencil   = kernels.Stencil
+	Broadcast = kernels.Broadcast
+	Indirect  = kernels.Indirect
+)
+
+// Buffer is a device allocation (hipMalloc result).
+type Buffer = kernels.DataStructure
+
+// Stream is an in-order queue of kernel launches, optionally bound to a
+// chiplet subset with SetDevice.
+type Stream struct {
+	id       int
+	chiplets []int
+	seq      []*kernels.Kernel
+	rt       *Runtime
+}
+
+// KernelConfig carries the per-kernel execution parameters that real HIP
+// encodes in the launch configuration and kernel object metadata.
+type KernelConfig struct {
+	ComputePerWG  uint32
+	LDSBytesPerWG int
+	MLPFactor     float64
+}
+
+// Runtime accumulates allocations, kernels, annotations, and launches.
+type Runtime struct {
+	alloc   *kernels.Allocator
+	streams []*Stream
+	seed    uint64
+	err     error
+}
+
+// NewRuntime creates a runtime allocating page-aligned buffers of the given
+// page size from the simulator heap base.
+func NewRuntime(pageSize int) *Runtime {
+	return &Runtime{alloc: kernels.NewAllocator(0x1000_0000, pageSize), seed: 0x41D}
+}
+
+// SetSeed fixes the seed used for data-dependent access patterns.
+func (rt *Runtime) SetSeed(seed uint64) { rt.seed = seed }
+
+// Err returns the first error recorded by any runtime call (calls after an
+// error are no-ops, so call sites can chain without per-call checks, like
+// HIP's sticky error model).
+func (rt *Runtime) Err() error { return rt.err }
+
+func (rt *Runtime) fail(format string, args ...any) {
+	if rt.err == nil {
+		rt.err = fmt.Errorf("hip: "+format, args...)
+	}
+}
+
+// Malloc allocates a device buffer of elems elements of elemSize bytes.
+func (rt *Runtime) Malloc(name string, elems, elemSize int) *Buffer {
+	if elems <= 0 || elemSize <= 0 {
+		rt.fail("Malloc(%s): non-positive size", name)
+		return &Buffer{Name: name, Bytes: 1, ElemSize: 1}
+	}
+	return rt.alloc.Alloc(name, elems, elemSize)
+}
+
+// Kernel declares a kernel with its grid size in work-groups.
+func (rt *Runtime) Kernel(name string, wgs int, cfg KernelConfig) *kernels.Kernel {
+	return &kernels.Kernel{
+		Name:          name,
+		WGs:           wgs,
+		ComputePerWG:  cfg.ComputePerWG,
+		LDSBytesPerWG: cfg.LDSBytesPerWG,
+		MLPFactor:     cfg.MLPFactor,
+	}
+}
+
+// ArgOption refines an access-mode annotation.
+type ArgOption func(*kernels.Arg)
+
+// WithHalo sets the stencil halo width in cache lines.
+func WithHalo(lines int) ArgOption {
+	return func(a *kernels.Arg) { a.HaloLines = lines }
+}
+
+// WithStride sets the line stride for strided arguments.
+func WithStride(stride int) ArgOption {
+	return func(a *kernels.Arg) { a.Stride = stride }
+}
+
+// WithGather tunes indirect arguments: touches per index line and the hot
+// fraction of the structure they land in.
+func WithGather(touchesPerLine int, hotFraction float64) ArgOption {
+	return func(a *kernels.Arg) {
+		a.TouchesPerLine = touchesPerLine
+		a.HotFraction = hotFraction
+	}
+}
+
+// WithWorklist sets the per-WG gather work for indirect arguments driven by
+// an external worklist.
+func WithWorklist(linesPerWG int) ArgOption {
+	return func(a *kernels.Arg) { a.WorkLinesPerWG = linesPerWG }
+}
+
+// WithReadModifyWrite marks a ReadWrite argument as load-then-store.
+func WithReadModifyWrite() ArgOption {
+	return func(a *kernels.Arg) { a.ReadModifyWrite = true }
+}
+
+// SetAccessMode is the paper's hipSetAccessMode: it declares buffer d's
+// access mode for kernel k (Listing 1), plus the access pattern the
+// simulator needs to generate the kernel's traffic. Argument order follows
+// call order.
+func (rt *Runtime) SetAccessMode(k *kernels.Kernel, d *Buffer, mode kernels.AccessMode, pattern kernels.Pattern, opts ...ArgOption) {
+	if rt.err != nil {
+		return
+	}
+	arg := kernels.Arg{DS: d, Mode: mode, Pattern: pattern}
+	for _, o := range opts {
+		o(&arg)
+	}
+	if pattern == Indirect && mode == ReadWrite {
+		arg.ReadModifyWrite = true // scatter updates are atomic RMW
+	}
+	k.Args = append(k.Args, arg)
+}
+
+// SetAccessModeRange is the paper's hipSetAccessModeRange (Listing 2): like
+// SetAccessMode, and the per-chiplet address ranges are derived from the
+// kernel's static partitioning when the stream launches (the runtime owns
+// the range computation, mirroring how the paper's ROCm extension populates
+// kernel packets).
+func (rt *Runtime) SetAccessModeRange(k *kernels.Kernel, d *Buffer, mode kernels.AccessMode, pattern kernels.Pattern, opts ...ArgOption) {
+	rt.SetAccessMode(k, d, mode, pattern, opts...)
+}
+
+// Stream creates a new stream bound to all chiplets.
+func (rt *Runtime) Stream() *Stream {
+	s := &Stream{id: len(rt.streams), rt: rt}
+	rt.streams = append(rt.streams, s)
+	return s
+}
+
+// SetDevice binds the stream to a chiplet subset (the paper binds stream i
+// to chiplet(s) j with hipSetDevice).
+func (rt *Runtime) SetDevice(s *Stream, chiplets ...int) {
+	if len(s.seq) > 0 {
+		rt.fail("SetDevice after launches on stream %d", s.id)
+		return
+	}
+	s.chiplets = append([]int(nil), chiplets...)
+}
+
+// LaunchKernelGGL enqueues a dynamic instance of k on stream s.
+func (rt *Runtime) LaunchKernelGGL(s *Stream, k *kernels.Kernel) {
+	if rt.err != nil {
+		return
+	}
+	if err := k.Validate(); err != nil {
+		rt.fail("launch %s: %v", k.Name, err)
+		return
+	}
+	s.seq = append(s.seq, k)
+}
+
+// Streams finalizes the program into the command processors' stream
+// specifications. The returned error is the runtime's sticky error, if any.
+func (rt *Runtime) Streams() ([]cp.StreamSpec, error) {
+	if rt.err != nil {
+		return nil, rt.err
+	}
+	var specs []cp.StreamSpec
+	for _, s := range rt.streams {
+		if len(s.seq) == 0 {
+			continue
+		}
+		w := &kernels.Workload{
+			Name:     fmt.Sprintf("stream%d", s.id),
+			Sequence: s.seq,
+			Seed:     rt.seed ^ uint64(s.id),
+		}
+		w.Structures = structuresOf(s.seq)
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, cp.StreamSpec{Workload: w, Chiplets: s.chiplets})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("hip: no kernels launched")
+	}
+	return specs, nil
+}
+
+// Bounds returns the allocated address span, for sizing the machine.
+func (rt *Runtime) Bounds() mem.Range {
+	return mem.Range{Lo: 0x1000_0000, Hi: rt.alloc.Used()}
+}
+
+func structuresOf(seq []*kernels.Kernel) []*kernels.DataStructure {
+	seen := map[*kernels.DataStructure]bool{}
+	var out []*kernels.DataStructure
+	for _, k := range seq {
+		for _, a := range k.Args {
+			if !seen[a.DS] {
+				seen[a.DS] = true
+				out = append(out, a.DS)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package hip
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestListing1Flow(t *testing.T) {
+	rt := NewRuntime(4096)
+	a := rt.Malloc("A_d", 1024, 4)
+	c := rt.Malloc("C_d", 1024, 4)
+	sq := rt.Kernel("square", 16, KernelConfig{ComputePerWG: 100})
+	rt.SetAccessMode(sq, c, ReadWrite, Linear)
+	rt.SetAccessMode(sq, a, Read, Linear)
+	s := rt.Stream()
+	for i := 0; i < 3; i++ {
+		rt.LaunchKernelGGL(s, sq)
+	}
+	specs, err := rt.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || len(specs[0].Workload.Sequence) != 3 {
+		t.Fatalf("specs shape wrong: %+v", specs)
+	}
+	w := specs[0].Workload
+	if len(w.Structures) != 2 {
+		t.Errorf("structures = %d", len(w.Structures))
+	}
+	if w.Sequence[0].Args[0].Mode != kernels.ReadWrite {
+		t.Error("annotation order lost")
+	}
+	if rt.Bounds().Size() < 2*4096 {
+		t.Error("bounds too small")
+	}
+}
+
+func TestArgOptions(t *testing.T) {
+	rt := NewRuntime(4096)
+	d := rt.Malloc("d", 4096, 4)
+	k := rt.Kernel("k", 8, KernelConfig{})
+	rt.SetAccessMode(k, d, Read, Stencil, WithHalo(3))
+	rt.SetAccessMode(k, d, Read, Strided, WithStride(4))
+	rt.SetAccessMode(k, d, Read, Indirect, WithGather(5, 0.5), WithWorklist(7))
+	rt.SetAccessMode(k, d, ReadWrite, Linear, WithReadModifyWrite())
+	args := k.Args
+	if args[0].HaloLines != 3 || args[1].Stride != 4 {
+		t.Error("halo/stride options lost")
+	}
+	if args[2].TouchesPerLine != 5 || args[2].HotFraction != 0.5 || args[2].WorkLinesPerWG != 7 {
+		t.Error("gather options lost")
+	}
+	if !args[3].ReadModifyWrite {
+		t.Error("RMW option lost")
+	}
+}
+
+func TestIndirectWriteForcedAtomic(t *testing.T) {
+	rt := NewRuntime(4096)
+	d := rt.Malloc("d", 4096, 4)
+	k := rt.Kernel("k", 8, KernelConfig{})
+	rt.SetAccessMode(k, d, ReadWrite, Indirect)
+	if !k.Args[0].ReadModifyWrite {
+		t.Error("indirect R/W not forced to RMW scatter")
+	}
+	rt.LaunchKernelGGL(rt.Stream(), k)
+	if _, err := rt.Streams(); err != nil {
+		t.Errorf("valid scatter kernel rejected: %v", err)
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	rt := NewRuntime(4096)
+	rt.Malloc("bad", 0, 4)
+	if rt.Err() == nil {
+		t.Fatal("zero-size malloc accepted")
+	}
+	if _, err := rt.Streams(); err == nil {
+		t.Error("Streams ignored sticky error")
+	}
+
+	rt2 := NewRuntime(4096)
+	d := rt2.Malloc("d", 64, 4)
+	k := rt2.Kernel("k", 0, KernelConfig{}) // invalid WGs
+	rt2.SetAccessMode(k, d, Read, Linear)
+	rt2.LaunchKernelGGL(rt2.Stream(), k)
+	if rt2.Err() == nil {
+		t.Error("invalid kernel launch accepted")
+	}
+
+	rt3 := NewRuntime(4096)
+	d3 := rt3.Malloc("d", 64, 4)
+	k3 := rt3.Kernel("k", 4, KernelConfig{})
+	rt3.SetAccessMode(k3, d3, Read, Linear)
+	s := rt3.Stream()
+	rt3.LaunchKernelGGL(s, k3)
+	rt3.SetDevice(s, 0) // too late
+	if rt3.Err() == nil {
+		t.Error("SetDevice after launches accepted")
+	}
+}
+
+func TestStreamsBindingAndEmpty(t *testing.T) {
+	rt := NewRuntime(4096)
+	if _, err := rt.Streams(); err == nil {
+		t.Error("empty program accepted")
+	}
+	d := rt.Malloc("d", 4096, 4)
+	k := rt.Kernel("k", 4, KernelConfig{})
+	rt.SetAccessMode(k, d, Read, Linear)
+	s0 := rt.Stream()
+	rt.SetDevice(s0, 0, 1)
+	rt.LaunchKernelGGL(s0, k)
+	_ = rt.Stream() // empty stream is skipped
+	specs, err := rt.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || len(specs[0].Chiplets) != 2 {
+		t.Fatalf("binding lost: %+v", specs)
+	}
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FusionConfig bounds the kernel-fusion transform the way real fusion is
+// bounded by register and LDS pressure (Section VI: "kernel fusion can
+// increase register and LDS pressure and may limit parallelism").
+type FusionConfig struct {
+	// MaxArgs caps the fused kernel's unique data structures (default 8).
+	MaxArgs int
+	// MaxLDSBytes caps the fused kernel's combined scratchpad (default
+	// 64 KiB, one CU's LDS).
+	MaxLDSBytes int
+}
+
+func (c FusionConfig) withDefaults() FusionConfig {
+	if c.MaxArgs <= 0 {
+		c.MaxArgs = 8
+	}
+	if c.MaxLDSBytes <= 0 {
+		c.MaxLDSBytes = 64 << 10
+	}
+	return c
+}
+
+// FuseAdjacent applies software kernel fusion to a workload: consecutive
+// kernels merge into one launch when it is safe and within pressure limits,
+// eliminating the implicit synchronization between them — the software
+// alternative to CPElide that Section VI discusses.
+//
+// Fusion is safe only when neither kernel reads, across partition
+// boundaries, data the other writes: a fused halo read of a value produced
+// in the same launch would be an intra-kernel race. Elementwise
+// producer-consumer chains (linear patterns with matching partitioning)
+// fuse; stencil/gather/broadcast consumers of freshly written data do not.
+func FuseAdjacent(w *Workload, cfg FusionConfig) *Workload {
+	cfg = cfg.withDefaults()
+	out := &Workload{
+		Name:       w.Name + "+fused",
+		Class:      w.Class,
+		Structures: w.Structures,
+		Seed:       w.Seed,
+	}
+	fusedCache := map[[2]*Kernel]*Kernel{}
+	i := 0
+	for i < len(w.Sequence) {
+		k := w.Sequence[i]
+		if i+1 < len(w.Sequence) {
+			next := w.Sequence[i+1]
+			if canFuse(k, next, cfg) {
+				key := [2]*Kernel{k, next}
+				f, ok := fusedCache[key]
+				if !ok {
+					f = fuse(k, next)
+					fusedCache[key] = f
+				}
+				out.Sequence = append(out.Sequence, f)
+				i += 2
+				continue
+			}
+		}
+		out.Sequence = append(out.Sequence, k)
+		i++
+	}
+	return out
+}
+
+// crossPartition reports whether the pattern can touch lines outside the
+// WG's own partition slice.
+func crossPartition(p Pattern) bool {
+	return p == Stencil || p == Indirect || p == Broadcast
+}
+
+// canFuse checks the safety and pressure conditions for fusing a directly
+// after b's predecessor.
+func canFuse(a, b *Kernel, cfg FusionConfig) bool {
+	// Pressure limits.
+	if a.LDSBytesPerWG+b.LDSBytesPerWG > cfg.MaxLDSBytes {
+		return false
+	}
+	unique := map[*DataStructure]bool{}
+	for _, arg := range a.Args {
+		unique[arg.DS] = true
+	}
+	for _, arg := range b.Args {
+		unique[arg.DS] = true
+	}
+	if len(unique) > cfg.MaxArgs {
+		return false
+	}
+	// Grids must agree for the "same thread consumes its own value"
+	// elementwise fusion model.
+	if a.WGs != b.WGs {
+		return false
+	}
+	// Safety: nothing written by one kernel may be read across partitions
+	// (or written again non-linearly) by the other.
+	writes := func(k *Kernel) map[*DataStructure]bool {
+		ws := map[*DataStructure]bool{}
+		for _, arg := range k.Args {
+			if arg.Mode == ReadWrite {
+				ws[arg.DS] = true
+			}
+		}
+		return ws
+	}
+	wa, wb := writes(a), writes(b)
+	for _, arg := range a.Args {
+		if wb[arg.DS] && crossPartition(arg.Pattern) {
+			return false
+		}
+	}
+	for _, arg := range b.Args {
+		if wa[arg.DS] && crossPartition(arg.Pattern) {
+			return false
+		}
+	}
+	// Atomic scatters synchronize at kernel scope; fusing across them
+	// changes visibility, so keep them as fusion barriers.
+	for _, k := range []*Kernel{a, b} {
+		for _, arg := range k.Args {
+			if arg.Pattern == Indirect && arg.Mode == ReadWrite {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fuse merges two fusable kernels into one launch.
+func fuse(a, b *Kernel) *Kernel {
+	name := a.Name + "+" + b.Name
+	if strings.Count(name, "+") > 3 {
+		name = fmt.Sprintf("fused(%s...)", a.Name)
+	}
+	f := &Kernel{
+		Name:          name,
+		WGs:           a.WGs,
+		ComputePerWG:  a.ComputePerWG + b.ComputePerWG,
+		LDSBytesPerWG: a.LDSBytesPerWG + b.LDSBytesPerWG,
+		MLPFactor:     (a.MLP() + b.MLP()) / 2,
+	}
+	f.Args = append(f.Args, a.Args...)
+	f.Args = append(f.Args, b.Args...)
+	return f
+}

@@ -1,0 +1,124 @@
+package kernels
+
+import "testing"
+
+func fusionFixtures() (a, b, stencilConsumer, scatter *Kernel, x, y *DataStructure) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	x = alloc.Alloc("x", 16*1024, 4)
+	y = alloc.Alloc("y", 16*1024, 4)
+	a = &Kernel{
+		Name: "produce", WGs: 64, ComputePerWG: 100, LDSBytesPerWG: 1024,
+		Args: []Arg{
+			{DS: x, Mode: Read, Pattern: Linear},
+			{DS: y, Mode: ReadWrite, Pattern: Linear},
+		},
+	}
+	b = &Kernel{
+		Name: "consume", WGs: 64, ComputePerWG: 200, LDSBytesPerWG: 1024,
+		Args: []Arg{
+			{DS: y, Mode: Read, Pattern: Linear},
+			{DS: x, Mode: ReadWrite, Pattern: Linear},
+		},
+	}
+	stencilConsumer = &Kernel{
+		Name: "halo", WGs: 64, ComputePerWG: 200,
+		Args: []Arg{
+			{DS: y, Mode: Read, Pattern: Stencil, HaloLines: 1},
+			{DS: x, Mode: ReadWrite, Pattern: Linear},
+		},
+	}
+	scatter = &Kernel{
+		Name: "scatter", WGs: 64, ComputePerWG: 200,
+		Args: []Arg{
+			{DS: y, Mode: ReadWrite, Pattern: Indirect, ReadModifyWrite: true},
+		},
+	}
+	return
+}
+
+func TestFuseElementwiseChain(t *testing.T) {
+	a, b, _, _, x, y := fusionFixtures()
+	w := &Workload{
+		Name: "w", Structures: []*DataStructure{x, y},
+		Sequence: []*Kernel{a, b, a, b},
+	}
+	f := FuseAdjacent(w, FusionConfig{})
+	if len(f.Sequence) != 2 {
+		t.Fatalf("fused sequence = %d kernels, want 2", len(f.Sequence))
+	}
+	fk := f.Sequence[0]
+	if fk.ComputePerWG != 300 || fk.LDSBytesPerWG != 2048 {
+		t.Errorf("fused resources: compute=%d lds=%d", fk.ComputePerWG, fk.LDSBytesPerWG)
+	}
+	if len(fk.Args) != 4 {
+		t.Errorf("fused args = %d", len(fk.Args))
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("fused workload invalid: %v", err)
+	}
+	// Repeated pairs reuse the same fused kernel object.
+	if f.Sequence[0] != f.Sequence[1] {
+		t.Error("fusion did not cache identical pairs")
+	}
+}
+
+func TestFusionRefusesCrossPartitionConsumers(t *testing.T) {
+	a, _, stencilConsumer, scatter, x, y := fusionFixtures()
+	w := &Workload{
+		Name: "w", Structures: []*DataStructure{x, y},
+		Sequence: []*Kernel{a, stencilConsumer},
+	}
+	if f := FuseAdjacent(w, FusionConfig{}); len(f.Sequence) != 2 {
+		t.Error("fused a halo consumer of freshly written data (intra-kernel race)")
+	}
+	w2 := &Workload{
+		Name: "w2", Structures: []*DataStructure{x, y},
+		Sequence: []*Kernel{a, scatter},
+	}
+	if f := FuseAdjacent(w2, FusionConfig{}); len(f.Sequence) != 2 {
+		t.Error("fused across an atomic scatter barrier")
+	}
+}
+
+func TestFusionRespectsPressureLimits(t *testing.T) {
+	a, b, _, _, x, y := fusionFixtures()
+	w := &Workload{
+		Name: "w", Structures: []*DataStructure{x, y},
+		Sequence: []*Kernel{a, b},
+	}
+	if f := FuseAdjacent(w, FusionConfig{MaxLDSBytes: 1500}); len(f.Sequence) != 2 {
+		t.Error("fused past the LDS pressure limit")
+	}
+	if f := FuseAdjacent(w, FusionConfig{MaxArgs: 1}); len(f.Sequence) != 2 {
+		t.Error("fused past the register/argument pressure limit")
+	}
+	// Mismatched grids cannot fuse elementwise.
+	b.WGs = 32
+	if f := FuseAdjacent(w, FusionConfig{}); len(f.Sequence) != 2 {
+		t.Error("fused kernels with different grids")
+	}
+}
+
+func TestCUScheduleMappings(t *testing.T) {
+	if RoundRobinCU.cuOf(5, 100, 4) != 1 {
+		t.Error("round robin wrong")
+	}
+	// Chunked: first quarter of WGs on CU 0, last on CU 3.
+	if ChunkedCU.cuOf(0, 100, 4) != 0 || ChunkedCU.cuOf(99, 100, 4) != 3 {
+		t.Error("chunked boundaries wrong")
+	}
+	// All CUs used, monotone.
+	prev := 0
+	used := map[int]bool{}
+	for wg := 0; wg < 100; wg++ {
+		cu := ChunkedCU.cuOf(wg, 100, 4)
+		if cu < prev {
+			t.Fatal("chunked assignment not monotone")
+		}
+		prev = cu
+		used[cu] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("chunked used %d CUs", len(used))
+	}
+}

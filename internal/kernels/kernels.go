@@ -1,0 +1,286 @@
+// Package kernels describes GPU work the way the command processor sees it:
+// kernels with argument metadata (data structures, access modes, address
+// ranges) and work-group grids that static kernel-wide partitioning splits
+// across chiplets.
+//
+// It also generates each kernel's line-granularity memory access stream.
+// CPElide never inspects instruction streams — it acts on kernel argument
+// metadata and WG placement — so workloads are modeled as declarative access
+// patterns (linear, strided, stencil, broadcast, indirect) that reproduce
+// the cache- and NUMA-relevant behavior of the paper's 24 benchmarks.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// AccessMode is a data structure's declared access mode for one kernel,
+// matching the paper's hipSetAccessMode labels.
+type AccessMode uint8
+
+const (
+	// Read marks a data structure as read-only in the kernel (label "R").
+	Read AccessMode = iota
+	// ReadWrite marks a data structure as written, possibly also read
+	// (label "R/W").
+	ReadWrite
+)
+
+func (m AccessMode) String() string {
+	if m == Read {
+		return "R"
+	}
+	return "R/W"
+}
+
+// Pattern selects how a kernel's WGs touch an argument.
+type Pattern uint8
+
+const (
+	// Linear: WG i touches the i-th contiguous slice of the structure.
+	Linear Pattern = iota
+	// Strided: like Linear but touching every Stride-th line of the slice.
+	Strided
+	// Stencil: Linear plus HaloLines lines into each neighboring slice,
+	// producing boundary sharing between adjacent WGs and chiplets.
+	Stencil
+	// Broadcast: the whole structure is read by every chiplet (shared
+	// weights, lookup tables). Modeled as Sweeps full passes per chiplet.
+	Broadcast
+	// Indirect: data-dependent gathers. The WG reads its slice of the
+	// index structure linearly and touches pseudo-random lines anywhere in
+	// this structure, reproducing graph-workload irregularity.
+	Indirect
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Linear:
+		return "linear"
+	case Strided:
+		return "strided"
+	case Stencil:
+		return "stencil"
+	case Broadcast:
+		return "broadcast"
+	case Indirect:
+		return "indirect"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// DataStructure is one global-memory allocation (an array in the paper's
+// terminology). The Chiplet Coherence Table tracks state at this
+// granularity.
+type DataStructure struct {
+	Name     string
+	Base     mem.Addr
+	Bytes    uint64
+	ElemSize int
+}
+
+// Range returns the structure's full address range.
+func (d *DataStructure) Range() mem.Range {
+	return mem.Range{Lo: d.Base, Hi: d.Base + d.Bytes}
+}
+
+// Elems returns the element count.
+func (d *DataStructure) Elems() int { return int(d.Bytes) / d.ElemSize }
+
+// Arg binds a data structure into a kernel with its access metadata.
+type Arg struct {
+	DS      *DataStructure
+	Mode    AccessMode
+	Pattern Pattern
+
+	// Stride is the line stride for Strided (>= 1; 1 behaves as Linear).
+	Stride int
+	// HaloLines is the per-side halo width for Stencil, in cache lines.
+	HaloLines int
+	// Sweeps is the number of full per-chiplet passes for Broadcast
+	// (default 1).
+	Sweeps int
+	// TouchesPerLine is the number of indirect touches generated per index
+	// line for Indirect (default 4).
+	TouchesPerLine int
+	// WorkLinesPerWG overrides the number of index lines each WG processes
+	// for Indirect (default: the WG's share of the structure's lines).
+	// Workloads whose gather volume is set by a separate worklist (BTree
+	// queries, BFS frontiers) use this to decouple per-kernel work from
+	// the target structure's size.
+	WorkLinesPerWG int
+	// HotFraction restricts Indirect touches to the leading fraction of
+	// the structure (0 => whole structure), modeling skewed graph degree
+	// distributions.
+	HotFraction float64
+	// ReadModifyWrite makes ReadWrite args load each line before storing
+	// it (e.g. +=). Plain ReadWrite args are streaming stores.
+	ReadModifyWrite bool
+}
+
+// Kernel is a static kernel: the unit the CP launches and the granularity at
+// which implicit synchronization happens.
+type Kernel struct {
+	Name string
+	Args []Arg
+
+	// WGs is the grid size in work-groups.
+	WGs int
+	// ComputePerWG is the ALU work per WG in cycles; it sets where the
+	// kernel sits between compute- and memory-bound.
+	ComputePerWG uint32
+	// LDSBytesPerWG is scratchpad traffic per WG (energy accounting and
+	// the LDS-staging behavior of workloads like LUD and Backprop).
+	LDSBytesPerWG int
+	// MLPFactor scales the machine's base memory-level parallelism for
+	// this kernel (1.0 = default). High values model workloads whose
+	// abundant MLP hides L2 misses (FW, Gaussian, HACC in the paper).
+	MLPFactor float64
+}
+
+// Validate reports structural problems in the kernel description.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernels: kernel with empty name")
+	}
+	if k.WGs <= 0 {
+		return fmt.Errorf("kernels: %s: WGs must be positive", k.Name)
+	}
+	if len(k.Args) == 0 {
+		return fmt.Errorf("kernels: %s: no arguments", k.Name)
+	}
+	for i, a := range k.Args {
+		if a.DS == nil {
+			return fmt.Errorf("kernels: %s: arg %d has nil data structure", k.Name, i)
+		}
+		if a.DS.Bytes == 0 {
+			return fmt.Errorf("kernels: %s: arg %d (%s) has zero size", k.Name, i, a.DS.Name)
+		}
+		if a.Pattern == Strided && a.Stride < 1 {
+			return fmt.Errorf("kernels: %s: arg %d strided with stride %d", k.Name, i, a.Stride)
+		}
+		if a.Pattern == Broadcast && a.Mode != Read {
+			return fmt.Errorf("kernels: %s: arg %d broadcast must be read-only", k.Name, i)
+		}
+		if a.Pattern == Indirect && a.Mode == ReadWrite && !a.ReadModifyWrite {
+			// Indirect writes are modeled as read-modify-write scatter
+			// updates; a pure streaming indirect store has no GPU analogue
+			// in the studied workloads.
+			return fmt.Errorf("kernels: %s: arg %d indirect R/W must be ReadModifyWrite", k.Name, i)
+		}
+	}
+	return nil
+}
+
+// MLP returns the kernel's effective MLP factor (>= a small floor).
+func (k *Kernel) MLP() float64 {
+	if k.MLPFactor <= 0 {
+		return 1
+	}
+	return k.MLPFactor
+}
+
+func (a *Arg) sweeps() int {
+	if a.Sweeps <= 0 {
+		return 1
+	}
+	return a.Sweeps
+}
+
+func (a *Arg) touchesPerLine() int {
+	if a.TouchesPerLine <= 0 {
+		return 4
+	}
+	return a.TouchesPerLine
+}
+
+// ReuseClass groups workloads the way Table II does.
+type ReuseClass uint8
+
+const (
+	// ModerateHighReuse marks workloads with moderate-to-high inter-kernel
+	// reuse.
+	ModerateHighReuse ReuseClass = iota
+	// LowReuse marks workloads with low or no inter-kernel reuse.
+	LowReuse
+)
+
+func (c ReuseClass) String() string {
+	if c == ModerateHighReuse {
+		return "moderate-to-high"
+	}
+	return "low"
+}
+
+// Workload is a full benchmark: its allocations and its dynamic kernel
+// sequence (kernels may repeat).
+type Workload struct {
+	Name       string
+	Class      ReuseClass
+	Structures []*DataStructure
+	Sequence   []*Kernel
+	Seed       uint64
+}
+
+// Validate checks the workload and every kernel in it.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("kernels: workload with empty name")
+	}
+	if len(w.Sequence) == 0 {
+		return fmt.Errorf("kernels: %s: empty kernel sequence", w.Name)
+	}
+	seen := map[*Kernel]bool{}
+	for _, k := range w.Sequence {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// FootprintBytes returns the total bytes across all structures.
+func (w *Workload) FootprintBytes() uint64 {
+	var n uint64
+	for _, d := range w.Structures {
+		n += d.Bytes
+	}
+	return n
+}
+
+// Bounds returns the address range spanning all structures.
+func (w *Workload) Bounds() mem.Range {
+	var r mem.Range
+	for _, d := range w.Structures {
+		r = r.Union(d.Range())
+	}
+	return r
+}
+
+// Allocator hands out page-aligned base addresses for data structures.
+type Allocator struct {
+	next     mem.Addr
+	pageSize uint64
+}
+
+// NewAllocator starts allocation at base with the given page alignment.
+func NewAllocator(base mem.Addr, pageSize int) *Allocator {
+	return &Allocator{next: base, pageSize: uint64(pageSize)}
+}
+
+// Alloc creates a page-aligned data structure of elems*elemSize bytes.
+func (a *Allocator) Alloc(name string, elems, elemSize int) *DataStructure {
+	bytes := uint64(elems) * uint64(elemSize)
+	d := &DataStructure{Name: name, Base: a.next, Bytes: bytes, ElemSize: elemSize}
+	a.next += (bytes + a.pageSize - 1) / a.pageSize * a.pageSize
+	return d
+}
+
+// Used returns the highest address allocated so far.
+func (a *Allocator) Used() mem.Addr { return a.next }

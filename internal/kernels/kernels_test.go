@@ -1,0 +1,263 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestAllocatorPageAlignment(t *testing.T) {
+	a := NewAllocator(0x1000_0000, 4096)
+	d1 := a.Alloc("x", 100, 4) // 400 bytes -> one page
+	d2 := a.Alloc("y", 100, 4)
+	if d1.Base%4096 != 0 || d2.Base%4096 != 0 {
+		t.Error("allocations not page aligned")
+	}
+	if d2.Base != d1.Base+4096 {
+		t.Errorf("second allocation at %#x", d2.Base)
+	}
+	if d1.Range().Overlaps(d2.Range()) {
+		t.Error("allocations overlap")
+	}
+	if a.Used() != d2.Base+4096 {
+		t.Errorf("Used = %#x", a.Used())
+	}
+	if d1.Elems() != 100 {
+		t.Errorf("Elems = %d", d1.Elems())
+	}
+}
+
+func mkDS(t *testing.T, elems, elemSize int) *DataStructure {
+	t.Helper()
+	return NewAllocator(0x1000_0000, 4096).Alloc("d", elems, elemSize)
+}
+
+func TestKernelValidate(t *testing.T) {
+	d := mkDS(t, 1024, 4)
+	good := &Kernel{
+		Name: "k", WGs: 8,
+		Args: []Arg{{DS: d, Mode: Read, Pattern: Linear}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid kernel rejected: %v", err)
+	}
+	bad := []*Kernel{
+		{Name: "", WGs: 8, Args: good.Args},
+		{Name: "k", WGs: 0, Args: good.Args},
+		{Name: "k", WGs: 8},
+		{Name: "k", WGs: 8, Args: []Arg{{DS: nil, Mode: Read}}},
+		{Name: "k", WGs: 8, Args: []Arg{{DS: d, Pattern: Strided, Stride: 0}}},
+		{Name: "k", WGs: 8, Args: []Arg{{DS: d, Mode: ReadWrite, Pattern: Broadcast}}},
+		{Name: "k", WGs: 8, Args: []Arg{{DS: d, Mode: ReadWrite, Pattern: Indirect}}},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("bad kernel %d accepted", i)
+		}
+	}
+}
+
+func TestPartitionCoversDisjointly(t *testing.T) {
+	for _, wgs := range []int{1, 7, 480, 481} {
+		for _, nparts := range []int{1, 2, 4, 6, 7} {
+			prev := 0
+			for p := 0; p < nparts; p++ {
+				lo, hi := Partition(wgs, nparts, p)
+				if lo != prev {
+					t.Fatalf("wgs=%d nparts=%d: gap/overlap at part %d", wgs, nparts, p)
+				}
+				prev = hi
+			}
+			if prev != wgs {
+				t.Fatalf("wgs=%d nparts=%d: cover ends at %d", wgs, nparts, prev)
+			}
+		}
+	}
+}
+
+func TestPartitionByteRangesDisjointCover(t *testing.T) {
+	d := mkDS(t, 100000, 4)
+	const wgs, nparts = 480, 4
+	var prev mem.Addr = d.Base
+	for p := 0; p < nparts; p++ {
+		r := PartitionByteRange(d, wgs, nparts, p, 64)
+		if r.Lo != prev {
+			t.Fatalf("partition %d starts at %#x, want %#x", p, r.Lo, prev)
+		}
+		if r.Lo%64 != 0 {
+			t.Fatalf("partition %d not line-aligned", p)
+		}
+		prev = r.Hi
+	}
+	if prev < d.Base+d.Bytes-64 || prev > d.Base+d.Bytes+64 {
+		t.Fatalf("cover ends at %#x, structure ends at %#x", prev, d.Base+d.Bytes)
+	}
+}
+
+// collect gathers all accesses a kernel generates for one chiplet slot.
+func collect(k *Kernel, inst, part, nparts int) []Access {
+	var out []Access
+	Generate(k, inst, 99, part, nparts, 60, 64, func(a Access) { out = append(out, a) })
+	return out
+}
+
+// TestGeneratedAccessesWithinDeclaredRanges is the contract between the
+// generator and the CP metadata: every generated access must fall inside
+// the ranges hipSetAccessModeRange declares for that chiplet.
+func TestGeneratedAccessesWithinDeclaredRanges(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	in := alloc.Alloc("in", 64*1024, 4)
+	out := alloc.Alloc("out", 64*1024, 4)
+	idx := alloc.Alloc("idx", 16*1024, 4)
+	k := &Kernel{
+		Name: "mix", WGs: 96,
+		Args: []Arg{
+			{DS: in, Mode: Read, Pattern: Stencil, HaloLines: 3},
+			{DS: out, Mode: ReadWrite, Pattern: Linear},
+			{DS: idx, Mode: Read, Pattern: Indirect, TouchesPerLine: 2},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const nparts = 4
+	for part := 0; part < nparts; part++ {
+		declared := make([]mem.RangeSet, len(k.Args))
+		for ai := range k.Args {
+			declared[ai] = ArgRanges(k, ai, part, nparts, 64)
+		}
+		for _, a := range collect(k, 0, part, nparts) {
+			if !declared[a.Arg].Contains(a.Line) {
+				t.Fatalf("part %d: access %#x (arg %d) outside declared %v",
+					part, a.Line, a.Arg, declared[a.Arg])
+			}
+		}
+	}
+}
+
+// TestNoCrossPartitionWriteSharing: distinct chiplet partitions must never
+// write the same cache line (the page-aligned, line-sliced partitioning that
+// prevents false sharing).
+func TestNoCrossPartitionWriteSharing(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("d", 100000, 4) // deliberately not a multiple of WGs
+	k := &Kernel{
+		Name: "w", WGs: 96,
+		Args: []Arg{{DS: d, Mode: ReadWrite, Pattern: Linear, ReadModifyWrite: true}},
+	}
+	writers := map[mem.Addr]int{}
+	for part := 0; part < 4; part++ {
+		for _, a := range collect(k, 0, part, 4) {
+			if !a.Write {
+				continue
+			}
+			if prev, ok := writers[a.Line]; ok && prev != part {
+				t.Fatalf("line %#x written by partitions %d and %d", a.Line, prev, part)
+			}
+			writers[a.Line] = part
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("d", 32*1024, 4)
+	k := &Kernel{
+		Name: "g", WGs: 48,
+		Args: []Arg{{DS: d, Mode: Read, Pattern: Indirect, TouchesPerLine: 3}},
+	}
+	a := collect(k, 2, 1, 4)
+	b := collect(k, 2, 1, 4)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different dynamic instance must reshuffle indirect targets.
+	c := collect(k, 3, 1, 4)
+	same := 0
+	for i := range a {
+		if a[i].Line == c[i].Line {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("indirect pattern identical across kernel instances")
+	}
+}
+
+func TestIndirectScatterIsAtomic(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("d", 32*1024, 4)
+	k := &Kernel{
+		Name: "s", WGs: 16,
+		Args: []Arg{{DS: d, Mode: ReadWrite, Pattern: Indirect, ReadModifyWrite: true}},
+	}
+	accs := collect(k, 0, 0, 2)
+	if len(accs) == 0 {
+		t.Fatal("no accesses")
+	}
+	for _, a := range accs {
+		if !a.Atomic || !a.Write {
+			t.Fatalf("scatter access not atomic write: %+v", a)
+		}
+	}
+}
+
+func TestBroadcastSweepsWholeStructurePerChiplet(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("w", 16*1024, 4) // 64 KiB = 1024 lines
+	k := &Kernel{
+		Name: "b", WGs: 32,
+		Args: []Arg{{DS: d, Mode: Read, Pattern: Broadcast, Sweeps: 2}},
+	}
+	accs := collect(k, 0, 1, 4)
+	if len(accs) != 2048 {
+		t.Fatalf("broadcast accesses = %d, want 2*1024", len(accs))
+	}
+	seen := map[mem.Addr]int{}
+	for _, a := range accs {
+		if a.Write {
+			t.Fatal("broadcast generated a write")
+		}
+		seen[a.Line]++
+	}
+	if len(seen) != 1024 {
+		t.Fatalf("broadcast covered %d distinct lines", len(seen))
+	}
+}
+
+func TestStridedSkipsLines(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("d", 16*1024, 4) // 1024 lines
+	k := &Kernel{
+		Name: "st", WGs: 8,
+		Args: []Arg{{DS: d, Mode: Read, Pattern: Strided, Stride: 4}},
+	}
+	accs := collect(k, 0, 0, 1)
+	if len(accs) < 200 || len(accs) > 300 {
+		t.Fatalf("strided accesses = %d, want ~256", len(accs))
+	}
+}
+
+func TestWorkloadValidateAndFootprint(t *testing.T) {
+	alloc := NewAllocator(0x1000_0000, 4096)
+	d := alloc.Alloc("d", 1024, 4)
+	k := &Kernel{Name: "k", WGs: 4, Args: []Arg{{DS: d, Mode: Read, Pattern: Linear}}}
+	w := &Workload{Name: "w", Structures: []*DataStructure{d}, Sequence: []*Kernel{k, k}}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.FootprintBytes() != 4096 {
+		t.Errorf("footprint = %d", w.FootprintBytes())
+	}
+	if w.Bounds() != d.Range() {
+		t.Errorf("bounds = %v", w.Bounds())
+	}
+	if err := (&Workload{Name: "e"}).Validate(); err == nil {
+		t.Error("empty workload accepted")
+	}
+}

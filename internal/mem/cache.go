@@ -1,0 +1,353 @@
+package mem
+
+// Cache is a set-associative, LRU-replaced cache model holding line
+// addresses and the data versions they carry. It is policy-free: the
+// coherence protocol composes Read/Write/Fill/Flush/Invalidate primitives
+// into write-back, write-through, and forwarding behaviors.
+//
+// Within each set, ways are kept in LRU order: index 0 is the most recently
+// used line and the last valid index is the eviction victim.
+type Cache struct {
+	name      string
+	lineShift uint
+	numSets   uint64
+	assoc     int
+	setsPow2  bool
+	sets      []way // numSets * assoc, flattened
+
+	validLines int
+	dirtyLines int
+}
+
+type way struct {
+	tag   Addr // line address (low bits zero); tagValid encodes validity
+	ver   uint32
+	valid bool
+	dirty bool
+}
+
+// EvictInfo describes a line displaced by a Fill.
+type EvictInfo struct {
+	Evicted bool
+	Line    Addr
+	Ver     uint32
+	Dirty   bool
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// line size. size must be a multiple of assoc*lineSize.
+func NewCache(name string, size, assoc, lineSize int) *Cache {
+	if size <= 0 || assoc <= 0 || lineSize <= 0 {
+		panic("mem: cache dimensions must be positive")
+	}
+	if size%(assoc*lineSize) != 0 {
+		panic("mem: cache size must be a multiple of assoc*lineSize")
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+		if shift > 16 {
+			panic("mem: lineSize must be a power of two")
+		}
+	}
+	numSets := uint64(size / (assoc * lineSize))
+	return &Cache{
+		name:      name,
+		lineShift: shift,
+		numSets:   numSets,
+		assoc:     assoc,
+		setsPow2:  numSets&(numSets-1) == 0,
+		sets:      make([]way, numSets*uint64(assoc)),
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.numSets) }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return int(c.numSets) * c.assoc }
+
+// ValidLines returns the number of valid lines currently cached.
+func (c *Cache) ValidLines() int { return c.validLines }
+
+// DirtyLines returns the number of dirty lines currently cached.
+func (c *Cache) DirtyLines() int { return c.dirtyLines }
+
+func (c *Cache) setIndex(line Addr) uint64 {
+	idx := uint64(line) >> c.lineShift
+	if c.setsPow2 {
+		return idx & (c.numSets - 1)
+	}
+	return idx % c.numSets
+}
+
+// set returns the ways of the set holding line.
+func (c *Cache) set(line Addr) []way {
+	s := c.setIndex(line) * uint64(c.assoc)
+	return c.sets[s : s+uint64(c.assoc)]
+}
+
+// moveToFront promotes ways[i] to MRU position.
+func moveToFront(ways []way, i int) {
+	if i == 0 {
+		return
+	}
+	w := ways[i]
+	copy(ways[1:i+1], ways[:i])
+	ways[0] = w
+}
+
+// Read looks up line. On a hit it returns the cached version, promotes the
+// line to MRU, and reports hit=true. It never allocates.
+func (c *Cache) Read(line Addr) (ver uint32, hit bool) {
+	ways := c.set(line)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			moveToFront(ways, i)
+			return ways[0].ver, true
+		}
+	}
+	return 0, false
+}
+
+// Peek reports whether line is cached, without disturbing LRU order.
+func (c *Cache) Peek(line Addr) (ver uint32, dirty, hit bool) {
+	ways := c.set(line)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			return ways[i].ver, ways[i].dirty, true
+		}
+	}
+	return 0, false, false
+}
+
+// Write updates line in place with the new version, marking it dirty
+// (write-back semantics), and reports whether the line was present. On a
+// miss it does nothing; the caller decides whether to write-allocate via
+// Fill.
+func (c *Cache) Write(line Addr, ver uint32) bool {
+	ways := c.set(line)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			if !ways[i].dirty {
+				c.dirtyLines++
+			}
+			moveToFront(ways, i)
+			ways[0].ver = ver
+			ways[0].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateClean refreshes line's version without marking it dirty, modeling a
+// write-through store updating a cached copy whose data has already been
+// committed below. It reports whether the line was present.
+func (c *Cache) UpdateClean(line Addr, ver uint32) bool {
+	ways := c.set(line)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			moveToFront(ways, i)
+			if ways[0].dirty {
+				ways[0].dirty = false
+				c.dirtyLines--
+			}
+			ways[0].ver = ver
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs line with the given version and dirty state, evicting the
+// LRU way if the set is full. Filling a line already present updates it in
+// place instead.
+func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
+	ways := c.set(line)
+	// Already present: update in place.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			moveToFront(ways, i)
+			if dirty && !ways[0].dirty {
+				c.dirtyLines++
+			}
+			if !dirty && ways[0].dirty {
+				c.dirtyLines--
+			}
+			ways[0].ver = ver
+			ways[0].dirty = dirty
+			return EvictInfo{}
+		}
+	}
+	// Prefer an invalid way.
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	var ev EvictInfo
+	if victim < 0 {
+		victim = len(ways) - 1
+		w := ways[victim]
+		ev = EvictInfo{Evicted: true, Line: w.tag, Ver: w.ver, Dirty: w.dirty}
+		if w.dirty {
+			c.dirtyLines--
+		}
+		c.validLines--
+	}
+	ways[victim] = way{tag: line, ver: ver, valid: true, dirty: dirty}
+	c.validLines++
+	if dirty {
+		c.dirtyLines++
+	}
+	moveToFront(ways, victim)
+	return ev
+}
+
+// Invalidate drops line if present and reports whether it was cached and
+// whether it was dirty (the dirty data is discarded).
+func (c *Cache) Invalidate(line Addr) (wasDirty, wasPresent bool) {
+	ways := c.set(line)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			wasDirty = ways[i].dirty
+			if wasDirty {
+				c.dirtyLines--
+			}
+			c.validLines--
+			ways[i] = way{}
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll drops every line and returns the number invalidated.
+// Dirty data is discarded; callers needing write-back must FlushAll first.
+func (c *Cache) InvalidateAll() int {
+	n := c.validLines
+	for i := range c.sets {
+		c.sets[i] = way{}
+	}
+	c.validLines = 0
+	c.dirtyLines = 0
+	return n
+}
+
+// InvalidateRanges drops every valid line whose address lies in rs and
+// returns the number invalidated. Small ranges are handled with per-line
+// set probes; large ones with a full tag walk.
+func (c *Cache) InvalidateRanges(rs RangeSet) int {
+	if c.rangeSmall(rs) {
+		n := 0
+		c.eachLine(rs, func(line Addr) {
+			if _, present := c.Invalidate(line); present {
+				n++
+			}
+		})
+		return n
+	}
+	n := 0
+	for i := range c.sets {
+		w := &c.sets[i]
+		if w.valid && rs.Contains(w.tag) {
+			if w.dirty {
+				c.dirtyLines--
+			}
+			c.validLines--
+			*w = way{}
+			n++
+		}
+	}
+	return n
+}
+
+// rangeSmall reports whether probing rs line by line beats walking every
+// tag in the cache.
+func (c *Cache) rangeSmall(rs RangeSet) bool {
+	lines := rs.Size() >> c.lineShift
+	return lines < uint64(len(c.sets))/uint64(c.assoc)
+}
+
+// eachLine invokes f for every line-aligned address in rs.
+func (c *Cache) eachLine(rs RangeSet, f func(Addr)) {
+	step := Addr(1) << c.lineShift
+	for _, r := range rs.Ranges() {
+		for line := r.Lo &^ (step - 1); line < r.Hi; line += step {
+			f(line)
+		}
+	}
+}
+
+// FlushAll writes back every dirty line through commit and marks it clean,
+// returning the number of lines written back. Clean and invalid lines are
+// untouched; the cache retains clean copies, matching the baseline protocol
+// in which a flushed line transitions to a shared/valid state.
+func (c *Cache) FlushAll(commit func(line Addr, ver uint32)) int {
+	n := 0
+	for i := range c.sets {
+		w := &c.sets[i]
+		if w.valid && w.dirty {
+			commit(w.tag, w.ver)
+			w.dirty = false
+			c.dirtyLines--
+			n++
+		}
+	}
+	return n
+}
+
+// FlushRanges writes back dirty lines whose addresses lie in rs, marking
+// them clean, and returns the number written back.
+func (c *Cache) FlushRanges(rs RangeSet, commit func(line Addr, ver uint32)) int {
+	if c.rangeSmall(rs) {
+		n := 0
+		c.eachLine(rs, func(line Addr) {
+			ways := c.set(line)
+			for i := range ways {
+				if ways[i].valid && ways[i].tag == line && ways[i].dirty {
+					commit(line, ways[i].ver)
+					ways[i].dirty = false
+					c.dirtyLines--
+					n++
+				}
+			}
+		})
+		return n
+	}
+	n := 0
+	for i := range c.sets {
+		w := &c.sets[i]
+		if w.valid && w.dirty && rs.Contains(w.tag) {
+			commit(w.tag, w.ver)
+			w.dirty = false
+			c.dirtyLines--
+			n++
+		}
+	}
+	return n
+}
+
+// ValidInRanges counts valid lines whose addresses lie in rs.
+func (c *Cache) ValidInRanges(rs RangeSet) int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid && rs.Contains(c.sets[i].tag) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates everything (alias of InvalidateAll, kept for symmetry
+// with other components).
+func (c *Cache) Reset() { c.InvalidateAll() }

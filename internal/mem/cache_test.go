@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tiny returns a 4-set, 2-way cache with 64 B lines (512 B total).
+func tiny() *Cache { return NewCache("t", 512, 2, 64) }
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache("l2", 8<<20, 32, 64)
+	if c.Sets() != 4096 || c.Assoc() != 32 || c.Lines() != 131072 {
+		t.Errorf("geometry: sets=%d assoc=%d lines=%d", c.Sets(), c.Assoc(), c.Lines())
+	}
+	// Non-power-of-two set count (16 MB / 6 chiplets style).
+	odd := NewCache("bank", 192*64*3, 3, 64)
+	if odd.Sets() != 192 {
+		t.Errorf("odd sets = %d, want 192", odd.Sets())
+	}
+	odd.Fill(0, 1, false)
+	if _, hit := odd.Read(0); !hit {
+		t.Error("fill+read miss on non-pow2 cache")
+	}
+}
+
+func TestCacheReadFillWrite(t *testing.T) {
+	c := tiny()
+	if _, hit := c.Read(0); hit {
+		t.Error("cold read hit")
+	}
+	c.Fill(0, 7, false)
+	if ver, hit := c.Read(0); !hit || ver != 7 {
+		t.Errorf("read after fill: ver=%d hit=%v", ver, hit)
+	}
+	if c.DirtyLines() != 0 {
+		t.Error("clean fill counted dirty")
+	}
+	if !c.Write(0, 8) {
+		t.Error("write to present line reported miss")
+	}
+	if c.DirtyLines() != 1 {
+		t.Errorf("dirty lines = %d, want 1", c.DirtyLines())
+	}
+	if ver, _ := c.Read(0); ver != 8 {
+		t.Errorf("ver after write = %d", ver)
+	}
+	if c.Write(64, 1) {
+		t.Error("write miss reported hit")
+	}
+	if !c.UpdateClean(0, 9) || c.DirtyLines() != 0 {
+		t.Error("UpdateClean did not clean the line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := tiny() // 4 sets x 2 ways; lines 0, 256, 512... map to set 0
+	set0 := func(i int) Addr { return Addr(i * 4 * 64) }
+	c.Fill(set0(0), 1, false)
+	c.Fill(set0(1), 2, true)
+	c.Read(set0(0)) // promote 0: LRU is now set0(1)
+	ev := c.Fill(set0(2), 3, false)
+	if !ev.Evicted || ev.Line != set0(1) || !ev.Dirty || ev.Ver != 2 {
+		t.Errorf("eviction = %+v, want dirty line %#x", ev, set0(1))
+	}
+	if _, hit := c.Read(set0(0)); !hit {
+		t.Error("MRU line evicted")
+	}
+	if c.DirtyLines() != 0 {
+		t.Errorf("dirty count after evicting dirty line = %d", c.DirtyLines())
+	}
+}
+
+func TestCacheFillExisting(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 1, true)
+	ev := c.Fill(0, 2, false)
+	if ev.Evicted {
+		t.Error("refill of existing line evicted")
+	}
+	if ver, dirty, _ := c.Peek(0); ver != 2 || dirty {
+		t.Errorf("refill: ver=%d dirty=%v", ver, dirty)
+	}
+	if c.ValidLines() != 1 {
+		t.Errorf("valid lines = %d", c.ValidLines())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 1, true)
+	c.Fill(64, 2, false)
+	wasDirty, present := c.Invalidate(0)
+	if !wasDirty || !present {
+		t.Error("Invalidate(0) should report dirty present line")
+	}
+	if _, p := c.Invalidate(0); p {
+		t.Error("double invalidate reported present")
+	}
+	if n := c.InvalidateAll(); n != 1 {
+		t.Errorf("InvalidateAll = %d, want 1", n)
+	}
+	if c.ValidLines() != 0 || c.DirtyLines() != 0 {
+		t.Error("counts nonzero after InvalidateAll")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 3, true)
+	c.Fill(64, 4, false)
+	c.Fill(128, 5, true)
+	var committed []Addr
+	n := c.FlushAll(func(line Addr, ver uint32) { committed = append(committed, line) })
+	if n != 2 || len(committed) != 2 {
+		t.Errorf("flushed %d lines", n)
+	}
+	if c.DirtyLines() != 0 {
+		t.Error("dirty after flush")
+	}
+	// Clean copies retained.
+	if _, hit := c.Read(0); !hit {
+		t.Error("flush dropped the line")
+	}
+}
+
+func TestCacheRangeOpsMatchFullWalk(t *testing.T) {
+	// The small-range fast path must behave exactly like the full walk.
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a := NewCache("a", 64*64*4, 4, 64)
+		b := NewCache("b", 64*64*4, 4, 64)
+		for i := 0; i < 300; i++ {
+			line := Addr(rnd.Intn(2048)) * 64
+			dirty := rnd.Intn(2) == 0
+			a.Fill(line, uint32(i), dirty)
+			b.Fill(line, uint32(i), dirty)
+		}
+		lo := Addr(rnd.Intn(1024)) * 64
+		small := NewRangeSet(Range{lo, lo + 4*64}) // forces per-line probes
+		big := NewRangeSet(Range{0, 2048 * 64})    // forces full walk
+
+		var fa, fb int
+		fa = a.FlushRanges(small, func(Addr, uint32) {})
+		fb = b.FlushRanges(small, func(Addr, uint32) {})
+		if fa != fb {
+			t.Fatalf("flush small mismatch %d vs %d", fa, fb)
+		}
+		if na, nb := a.InvalidateRanges(small), b.InvalidateRanges(small); na != nb {
+			t.Fatalf("invalidate small mismatch %d vs %d", na, nb)
+		}
+		if na, nb := a.InvalidateRanges(big), b.InvalidateRanges(big); na != nb {
+			t.Fatalf("invalidate big mismatch %d vs %d", na, nb)
+		}
+		if a.ValidLines() != 0 || b.ValidLines() != 0 {
+			t.Fatal("full-range invalidate left lines")
+		}
+	}
+}
+
+func TestCacheValidInRanges(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 1, false)
+	c.Fill(64, 1, false)
+	c.Fill(128, 1, false)
+	if n := c.ValidInRanges(NewRangeSet(Range{0, 128})); n != 2 {
+		t.Errorf("ValidInRanges = %d, want 2", n)
+	}
+}
+
+// Property: after arbitrary operation sequences, the valid/dirty counters
+// match a brute-force scan, and the cache never exceeds its capacity.
+func TestCacheCountersInvariant(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	c := NewCache("p", 8*64*2, 2, 64)
+	lines := func() (valid, dirty int) {
+		for _, w := range c.sets {
+			if w.valid {
+				valid++
+				if w.dirty {
+					dirty++
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < 5000; i++ {
+		line := Addr(rnd.Intn(64)) * 64
+		switch rnd.Intn(6) {
+		case 0:
+			c.Read(line)
+		case 1:
+			c.Fill(line, uint32(i), rnd.Intn(2) == 0)
+		case 2:
+			c.Write(line, uint32(i))
+		case 3:
+			c.Invalidate(line)
+		case 4:
+			c.FlushRanges(NewRangeSet(Range{line, line + 256}), func(Addr, uint32) {})
+		case 5:
+			c.UpdateClean(line, uint32(i))
+		}
+		v, d := lines()
+		if v != c.ValidLines() || d != c.DirtyLines() {
+			t.Fatalf("iter %d: counters valid=%d/%d dirty=%d/%d",
+				i, c.ValidLines(), v, c.DirtyLines(), d)
+		}
+		if v > c.Lines() {
+			t.Fatalf("capacity exceeded")
+		}
+	}
+}
+
+// Property: dirty data is never silently lost — every dirty line is either
+// still dirty in the cache or was passed to a commit callback.
+func TestCacheNoSilentDirtyLoss(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	c := NewCache("d", 4*64*2, 2, 64)
+	latest := map[Addr]uint32{}    // newest dirty version written
+	committed := map[Addr]uint32{} // newest version committed
+	commit := func(line Addr, ver uint32) {
+		if committed[line] < ver {
+			committed[line] = ver
+		}
+	}
+	for i := 1; i < 3000; i++ {
+		line := Addr(rnd.Intn(32)) * 64
+		switch rnd.Intn(4) {
+		case 0:
+			if ev := c.Fill(line, uint32(i), true); ev.Evicted && ev.Dirty {
+				commit(ev.Line, ev.Ver)
+			}
+			latest[line] = uint32(i)
+		case 1:
+			if c.Write(line, uint32(i)) {
+				latest[line] = uint32(i)
+			}
+		case 2:
+			c.FlushAll(commit)
+		case 3:
+			c.FlushRanges(NewRangeSet(Range{line, line + 512}), commit)
+		}
+	}
+	c.FlushAll(commit)
+	for line, ver := range latest {
+		if committed[line] < ver {
+			t.Fatalf("line %#x: newest dirty version %d never committed (have %d)",
+				line, ver, committed[line])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package mem
+
+// Memory is the versioned backing store behind all caches. It tracks two
+// version numbers per cache line:
+//
+//   - latest: incremented by every store, wherever it lands. This is the
+//     value a correctly synchronized reader must observe.
+//   - committed: the version visible at the inter-chiplet ordering point
+//     (L3/HBM). Write-through stores and L2 dirty-line flushes advance it.
+//
+// A read that misses all caches observes committed. A read that hits a cache
+// observes the cached line's version. Comparing the observation against
+// latest implements the functional staleness checker described in DESIGN.md:
+// any mismatch means the coherence policy under test elided a flush or an
+// invalidation that correctness required.
+type Memory struct {
+	base      Addr
+	lineShift uint
+	latest    []uint32
+	committed []uint32
+
+	staleReads uint64
+	lastStale  Addr
+
+	// OnStale, when set, is invoked on every staleness violation with the
+	// line address and the observed and latest versions (diagnostics).
+	OnStale func(line Addr, observed, latest uint32)
+}
+
+// NewMemory covers [base, base+size) with lines of lineSize bytes.
+func NewMemory(base Addr, size uint64, lineSize int) *Memory {
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+		if shift > 16 {
+			panic("mem: lineSize must be a power of two <= 64 KiB")
+		}
+	}
+	n := (size + uint64(lineSize) - 1) >> shift
+	return &Memory{
+		base:      base,
+		lineShift: shift,
+		latest:    make([]uint32, n),
+		committed: make([]uint32, n),
+	}
+}
+
+// LineShift returns log2 of the line size.
+func (m *Memory) LineShift() uint { return m.lineShift }
+
+// LineOf returns the line address (byte address of the line's first byte)
+// containing addr.
+func (m *Memory) LineOf(addr Addr) Addr {
+	return addr &^ (1<<m.lineShift - 1)
+}
+
+func (m *Memory) index(line Addr) int {
+	return int((line - m.base) >> m.lineShift)
+}
+
+// Store records a new store to line and returns the new latest version.
+func (m *Memory) Store(line Addr) uint32 {
+	i := m.index(line)
+	m.latest[i]++
+	return m.latest[i]
+}
+
+// Commit advances the committed version of line to at least ver, modeling
+// the line reaching the ordering point (write-through or dirty writeback).
+func (m *Memory) Commit(line Addr, ver uint32) {
+	i := m.index(line)
+	if m.committed[i] < ver {
+		m.committed[i] = ver
+	}
+}
+
+// Committed returns the version visible at the ordering point.
+func (m *Memory) Committed(line Addr) uint32 { return m.committed[m.index(line)] }
+
+// Latest returns the newest version written anywhere.
+func (m *Memory) Latest(line Addr) uint32 { return m.latest[m.index(line)] }
+
+// Observe checks a read observation: a reader saw version ver for line. It
+// records a staleness violation when ver is older than the latest version.
+func (m *Memory) Observe(line Addr, ver uint32) bool {
+	i := m.index(line)
+	if ver < m.latest[i] {
+		m.staleReads++
+		m.lastStale = line
+		if m.OnStale != nil {
+			m.OnStale(line, ver, m.latest[i])
+		}
+		return false
+	}
+	return true
+}
+
+// StaleReads returns the number of staleness violations observed so far.
+// It must be zero for every correct coherence policy.
+func (m *Memory) StaleReads() uint64 { return m.staleReads }
+
+// LastStaleLine returns the line address of the most recent violation, for
+// diagnostics.
+func (m *Memory) LastStaleLine() Addr { return m.lastStale }
+
+// Lines returns the number of lines covered.
+func (m *Memory) Lines() int { return len(m.latest) }
+
+// Reset clears all versions and violations.
+func (m *Memory) Reset() {
+	for i := range m.latest {
+		m.latest[i] = 0
+		m.committed[i] = 0
+	}
+	m.staleReads = 0
+	m.lastStale = 0
+}

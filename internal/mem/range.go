@@ -1,0 +1,197 @@
+// Package mem models the memory subsystem of the simulated multi-chiplet
+// GPU: virtual address ranges, first-touch NUMA page placement, versioned
+// backing storage, and set-associative caches with write-back or
+// write-through policies.
+//
+// Every cache line carries the version number of the data it holds. A global
+// Memory tracks, per line, the latest version written anywhere and the
+// version committed to the inter-chiplet ordering point (the L3/HBM). The
+// difference lets the simulator detect stale reads functionally: if a read
+// ever observes a version older than the latest, the coherence policy under
+// test elided a synchronization operation it must not have.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a byte address in the simulated GPU's virtual address space.
+type Addr = uint64
+
+// Range is a half-open address interval [Lo, Hi).
+type Range struct {
+	Lo, Hi Addr
+}
+
+// Size returns the number of bytes in r.
+func (r Range) Size() uint64 {
+	if r.Hi <= r.Lo {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Empty reports whether r covers no bytes.
+func (r Range) Empty() bool { return r.Hi <= r.Lo }
+
+// Contains reports whether a lies in r.
+func (r Range) Contains(a Addr) bool { return a >= r.Lo && a < r.Hi }
+
+// Overlaps reports whether r and o share at least one byte.
+func (r Range) Overlaps(o Range) bool {
+	return !r.Empty() && !o.Empty() && r.Lo < o.Hi && o.Lo < r.Hi
+}
+
+// Intersect returns the overlap of r and o (possibly empty).
+func (r Range) Intersect(o Range) Range {
+	lo, hi := r.Lo, r.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Range{lo, hi}
+}
+
+// Union returns the smallest range covering both r and o. The gap between
+// them, if any, is included; callers that need exact coverage should keep a
+// RangeSet instead.
+func (r Range) Union(o Range) Range {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	lo, hi := r.Lo, r.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Range{lo, hi}
+}
+
+// Adjacent reports whether r and o touch or overlap, i.e. their union is
+// contiguous.
+func (r Range) Adjacent(o Range) bool {
+	return !r.Empty() && !o.Empty() && r.Lo <= o.Hi && o.Lo <= r.Hi
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", r.Lo, r.Hi)
+}
+
+// RangeSet is a normalized set of disjoint, sorted, non-adjacent ranges.
+// The zero value is an empty set.
+type RangeSet struct {
+	rs []Range
+}
+
+// NewRangeSet builds a set from arbitrary ranges, normalizing them.
+func NewRangeSet(ranges ...Range) RangeSet {
+	var s RangeSet
+	for _, r := range ranges {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r, merging with any overlapping or adjacent members.
+func (s *RangeSet) Add(r Range) {
+	if r.Empty() {
+		return
+	}
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi >= r.Lo })
+	j := i
+	merged := r
+	for j < len(s.rs) && s.rs[j].Lo <= merged.Hi {
+		merged = merged.Union(s.rs[j])
+		j++
+	}
+	out := make([]Range, 0, len(s.rs)-(j-i)+1)
+	out = append(out, s.rs[:i]...)
+	out = append(out, merged)
+	out = append(out, s.rs[j:]...)
+	s.rs = out
+}
+
+// AddSet inserts every range of o.
+func (s *RangeSet) AddSet(o RangeSet) {
+	for _, r := range o.rs {
+		s.Add(r)
+	}
+}
+
+// Ranges returns the normalized members in ascending order. The returned
+// slice is shared; callers must not mutate it.
+func (s RangeSet) Ranges() []Range { return s.rs }
+
+// Len returns the number of disjoint ranges.
+func (s RangeSet) Len() int { return len(s.rs) }
+
+// Empty reports whether the set covers no bytes.
+func (s RangeSet) Empty() bool { return len(s.rs) == 0 }
+
+// Size returns the total bytes covered.
+func (s RangeSet) Size() uint64 {
+	var n uint64
+	for _, r := range s.rs {
+		n += r.Size()
+	}
+	return n
+}
+
+// Contains reports whether a lies in any member range.
+func (s RangeSet) Contains(a Addr) bool {
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi > a })
+	return i < len(s.rs) && s.rs[i].Contains(a)
+}
+
+// Overlaps reports whether any member overlaps r.
+func (s RangeSet) Overlaps(r Range) bool {
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi > r.Lo })
+	return i < len(s.rs) && s.rs[i].Overlaps(r)
+}
+
+// OverlapsSet reports whether the two sets share at least one byte.
+func (s RangeSet) OverlapsSet(o RangeSet) bool {
+	for _, r := range o.rs {
+		if s.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the smallest single range covering the set.
+func (s RangeSet) Bounds() Range {
+	if len(s.rs) == 0 {
+		return Range{}
+	}
+	return Range{s.rs[0].Lo, s.rs[len(s.rs)-1].Hi}
+}
+
+// Clone returns an independent copy.
+func (s RangeSet) Clone() RangeSet {
+	c := RangeSet{rs: make([]Range, len(s.rs))}
+	copy(c.rs, s.rs)
+	return c
+}
+
+func (s RangeSet) String() string {
+	out := ""
+	for i, r := range s.rs {
+		if i > 0 {
+			out += " "
+		}
+		out += r.String()
+	}
+	return "{" + out + "}"
+}

@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{Lo: 100, Hi: 200}
+	if r.Size() != 100 {
+		t.Errorf("Size = %d, want 100", r.Size())
+	}
+	if r.Empty() {
+		t.Error("non-empty range reported Empty")
+	}
+	if (Range{Lo: 5, Hi: 5}).Size() != 0 || !(Range{Lo: 5, Hi: 5}).Empty() {
+		t.Error("empty range mis-reported")
+	}
+	if (Range{Lo: 9, Hi: 5}).Size() != 0 {
+		t.Error("inverted range should have zero size")
+	}
+	if !r.Contains(100) || r.Contains(200) || r.Contains(99) {
+		t.Error("Contains: half-open semantics violated")
+	}
+}
+
+func TestRangeOverlapIntersectUnion(t *testing.T) {
+	cases := []struct {
+		a, b     Range
+		overlaps bool
+		inter    Range
+	}{
+		{Range{0, 10}, Range{5, 15}, true, Range{5, 10}},
+		{Range{0, 10}, Range{10, 20}, false, Range{10, 10}},
+		{Range{0, 10}, Range{20, 30}, false, Range{20, 20}},
+		{Range{5, 6}, Range{0, 100}, true, Range{5, 6}},
+		{Range{0, 0}, Range{0, 10}, false, Range{0, 0}},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.overlaps)
+		}
+		if got := c.b.Overlaps(c.a); got != c.overlaps {
+			t.Errorf("Overlaps not symmetric for %v, %v", c.a, c.b)
+		}
+		got := c.a.Intersect(c.b)
+		if got.Size() != c.inter.Size() || (!got.Empty() && got != c.inter) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", c.a, c.b, got, c.inter)
+		}
+	}
+	u := Range{0, 10}.Union(Range{20, 30})
+	if u != (Range{0, 30}) {
+		t.Errorf("Union = %v, want [0,30)", u)
+	}
+	if got := (Range{}).Union(Range{5, 7}); got != (Range{5, 7}) {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+func TestRangeAdjacent(t *testing.T) {
+	if !(Range{0, 10}).Adjacent(Range{10, 20}) {
+		t.Error("touching ranges should be adjacent")
+	}
+	if (Range{0, 10}).Adjacent(Range{11, 20}) {
+		t.Error("gapped ranges should not be adjacent")
+	}
+}
+
+func TestRangeSetNormalization(t *testing.T) {
+	s := NewRangeSet(Range{20, 30}, Range{0, 10}, Range{10, 15}, Range{25, 40})
+	rs := s.Ranges()
+	if len(rs) != 2 {
+		t.Fatalf("got %d ranges (%v), want 2", len(rs), s)
+	}
+	if rs[0] != (Range{0, 15}) || rs[1] != (Range{20, 40}) {
+		t.Errorf("normalized = %v", s)
+	}
+	if s.Size() != 15+20 {
+		t.Errorf("Size = %d, want 35", s.Size())
+	}
+	if !s.Contains(14) || s.Contains(17) || !s.Contains(39) || s.Contains(40) {
+		t.Error("Contains inconsistent with members")
+	}
+}
+
+func TestRangeSetOverlaps(t *testing.T) {
+	s := NewRangeSet(Range{0, 10}, Range{20, 30})
+	if !s.Overlaps(Range{9, 12}) || s.Overlaps(Range{10, 20}) || !s.Overlaps(Range{25, 26}) {
+		t.Error("Overlaps wrong")
+	}
+	o := NewRangeSet(Range{15, 21})
+	if !s.OverlapsSet(o) {
+		t.Error("OverlapsSet missed overlap at 20")
+	}
+	if s.OverlapsSet(NewRangeSet(Range{10, 20})) {
+		t.Error("OverlapsSet false positive in gap")
+	}
+	if (RangeSet{}).OverlapsSet(s) || s.OverlapsSet(RangeSet{}) {
+		t.Error("empty set overlaps nothing")
+	}
+}
+
+func TestRangeSetBoundsClone(t *testing.T) {
+	s := NewRangeSet(Range{5, 10}, Range{50, 60})
+	if s.Bounds() != (Range{5, 60}) {
+		t.Errorf("Bounds = %v", s.Bounds())
+	}
+	c := s.Clone()
+	c.Add(Range{100, 200})
+	if s.Len() != 2 || c.Len() != 3 {
+		t.Error("Clone not independent")
+	}
+}
+
+// Property: a RangeSet built from arbitrary ranges is normalized (sorted,
+// disjoint, non-adjacent) and agrees with a brute-force membership bitmap.
+func TestRangeSetProperty(t *testing.T) {
+	const universe = 512
+	f := func(raw []uint16) bool {
+		var s RangeSet
+		member := make([]bool, universe)
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := Addr(raw[i] % universe)
+			hi := Addr(raw[i+1] % universe)
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			s.Add(Range{lo, hi})
+			for a := lo; a < hi; a++ {
+				member[a] = true
+			}
+		}
+		// Normalization.
+		rs := s.Ranges()
+		for i, r := range rs {
+			if r.Empty() {
+				return false
+			}
+			if i > 0 && rs[i-1].Hi >= r.Lo {
+				return false
+			}
+		}
+		// Membership.
+		for a := 0; a < universe; a++ {
+			if s.Contains(Addr(a)) != member[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OverlapsSet is symmetric and agrees with pairwise Range overlap.
+func TestRangeSetOverlapsSetProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	mk := func() RangeSet {
+		var s RangeSet
+		for i := 0; i < rnd.Intn(6); i++ {
+			lo := Addr(rnd.Intn(1000))
+			s.Add(Range{lo, lo + Addr(rnd.Intn(50))})
+		}
+		return s
+	}
+	for i := 0; i < 500; i++ {
+		a, b := mk(), mk()
+		want := false
+		for _, ra := range a.Ranges() {
+			for _, rb := range b.Ranges() {
+				if ra.Overlaps(rb) {
+					want = true
+				}
+			}
+		}
+		if a.OverlapsSet(b) != want || b.OverlapsSet(a) != want {
+			t.Fatalf("OverlapsSet mismatch: %v vs %v (want %v)", a, b, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats collects simulation counters.
+//
+// Every component of the simulated machine (caches, links, DRAM, command
+// processors) increments named counters in a Sheet. Sheets are cheap to
+// merge, diff, and print, and the experiment harness turns them into the
+// rows of the paper's figures.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter identifies one statistic. Counters are grouped by component so the
+// energy model and the figure harness can aggregate by subsystem.
+type Counter string
+
+// Cache and memory counters.
+const (
+	L1Hits        Counter = "l1.hits"
+	L1Misses      Counter = "l1.misses"
+	L1Accesses    Counter = "l1.accesses"
+	L2Hits        Counter = "l2.hits"
+	L2Misses      Counter = "l2.misses"
+	L2Accesses    Counter = "l2.accesses"
+	L2RemoteHits  Counter = "l2.remote_hits" // served by another chiplet's L2 (HMG home node)
+	L2Writebacks  Counter = "l2.writebacks"
+	L2WriteThru   Counter = "l2.write_through"
+	L2Invalidates Counter = "l2.invalidated_lines"
+	L2FlushOps    Counter = "l2.flush_ops"
+	L2InvOps      Counter = "l2.invalidate_ops"
+	L3Hits        Counter = "l3.hits"
+	L3Misses      Counter = "l3.misses"
+	L3Accesses    Counter = "l3.accesses"
+	L3Writebacks  Counter = "l3.writebacks"
+	DRAMReads     Counter = "dram.reads"
+	DRAMWrites    Counter = "dram.writes"
+	LDSAccesses   Counter = "lds.accesses"
+)
+
+// Network counters, measured in flits (Figure 10's three classes).
+const (
+	FlitsL1L2   Counter = "noc.flits.l1_l2"
+	FlitsL2L3   Counter = "noc.flits.l2_l3"
+	FlitsRemote Counter = "noc.flits.remote"
+	// FlitsInterGPU counts remote flits that additionally crossed the
+	// inter-GPU interconnect (MGPU systems; a subset of FlitsRemote).
+	FlitsInterGPU Counter = "noc.flits.inter_gpu"
+)
+
+// Synchronization and command-processor counters.
+const (
+	AcquiresIssued  Counter = "sync.acquires"
+	ReleasesIssued  Counter = "sync.releases"
+	AcquiresElided  Counter = "sync.acquires_elided"
+	ReleasesElided  Counter = "sync.releases_elided"
+	SyncCycles      Counter = "sync.exposed_cycles"
+	CPMessages      Counter = "cp.messages"
+	KernelsLaunched Counter = "cp.kernels_launched"
+	TableCoarsening Counter = "cp.table_coarsenings"
+	TablePeakUse    Counter = "cp.table_peak_entries"
+	DirEvictions    Counter = "hmg.directory_evictions"
+	DirInvals       Counter = "hmg.directory_invalidations"
+)
+
+// Timing counters.
+const (
+	TotalCycles   Counter = "time.total_cycles"
+	ComputeCycles Counter = "time.compute_cycles"
+	MemoryCycles  Counter = "time.memory_cycles"
+	StaleReads    Counter = "check.stale_reads" // functional checker violations; must be 0
+)
+
+// Sheet is a set of named counters. The zero value is ready to use after
+// a call to make via New; methods on a nil Sheet are no-ops so components
+// can be run without instrumentation.
+type Sheet struct {
+	v map[Counter]uint64
+}
+
+// New returns an empty Sheet.
+func New() *Sheet { return &Sheet{v: make(map[Counter]uint64)} }
+
+// Add increments counter c by n.
+func (s *Sheet) Add(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.v[c] += n
+}
+
+// Inc increments counter c by one.
+func (s *Sheet) Inc(c Counter) { s.Add(c, 1) }
+
+// Max raises counter c to n if n is larger than the current value.
+func (s *Sheet) Max(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	if s.v[c] < n {
+		s.v[c] = n
+	}
+}
+
+// Get returns the value of counter c (zero if never incremented).
+func (s *Sheet) Get(c Counter) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.v[c]
+}
+
+// Set overwrites counter c with n.
+func (s *Sheet) Set(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.v[c] = n
+}
+
+// Merge adds every counter of o into s.
+func (s *Sheet) Merge(o *Sheet) {
+	if s == nil || o == nil {
+		return
+	}
+	for c, n := range o.v {
+		s.v[c] += n
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Sheet) Clone() *Sheet {
+	c := New()
+	if s != nil {
+		for k, v := range s.v {
+			c.v[k] = v
+		}
+	}
+	return c
+}
+
+// Reset zeroes all counters.
+func (s *Sheet) Reset() {
+	if s == nil {
+		return
+	}
+	for k := range s.v {
+		delete(s.v, k)
+	}
+}
+
+// Counters returns the set of counters with nonzero values, sorted by name.
+func (s *Sheet) Counters() []Counter {
+	if s == nil {
+		return nil
+	}
+	out := make([]Counter, 0, len(s.v))
+	for c := range s.v {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the sheet as an aligned table, one counter per line.
+func (s *Sheet) String() string {
+	var b strings.Builder
+	for _, c := range s.Counters() {
+		fmt.Fprintf(&b, "%-28s %12d\n", c, s.v[c])
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the sheet as a flat JSON object of counters.
+func (s *Sheet) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(s.v)
+}
+
+// UnmarshalJSON restores a sheet marshaled by MarshalJSON.
+func (s *Sheet) UnmarshalJSON(b []byte) error {
+	if s.v == nil {
+		s.v = make(map[Counter]uint64)
+	}
+	return json.Unmarshal(b, &s.v)
+}
+
+// Ratio returns a/b as float64, or 0 when b is 0.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

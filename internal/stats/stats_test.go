@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSheetBasics(t *testing.T) {
+	s := New()
+	s.Inc(L2Hits)
+	s.Add(L2Hits, 4)
+	if s.Get(L2Hits) != 5 {
+		t.Errorf("L2Hits = %d", s.Get(L2Hits))
+	}
+	if s.Get(L2Misses) != 0 {
+		t.Error("unset counter nonzero")
+	}
+	s.Set(L2Misses, 9)
+	if s.Get(L2Misses) != 9 {
+		t.Error("Set lost")
+	}
+	s.Max(TablePeakUse, 3)
+	s.Max(TablePeakUse, 2)
+	if s.Get(TablePeakUse) != 3 {
+		t.Error("Max regressed")
+	}
+}
+
+func TestSheetNilSafety(t *testing.T) {
+	var s *Sheet
+	s.Inc(L2Hits) // must not panic
+	s.Add(L2Hits, 2)
+	s.Max(L2Hits, 2)
+	s.Set(L2Hits, 2)
+	s.Merge(New())
+	s.Reset()
+	if s.Get(L2Hits) != 0 || s.Counters() != nil {
+		t.Error("nil sheet misbehaved")
+	}
+	if s.Clone() == nil {
+		t.Error("nil Clone should return usable sheet")
+	}
+}
+
+func TestSheetMergeCloneReset(t *testing.T) {
+	a, b := New(), New()
+	a.Add(L1Hits, 1)
+	b.Add(L1Hits, 2)
+	b.Add(DRAMReads, 5)
+	a.Merge(b)
+	if a.Get(L1Hits) != 3 || a.Get(DRAMReads) != 5 {
+		t.Error("Merge wrong")
+	}
+	c := a.Clone()
+	c.Inc(L1Hits)
+	if a.Get(L1Hits) != 3 || c.Get(L1Hits) != 4 {
+		t.Error("Clone shares state")
+	}
+	a.Reset()
+	if len(a.Counters()) != 0 {
+		t.Error("Reset left counters")
+	}
+}
+
+func TestSheetCountersSortedAndString(t *testing.T) {
+	s := New()
+	s.Inc(L2Hits)
+	s.Inc(DRAMReads)
+	s.Inc(L1Hits)
+	cs := s.Counters()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("counters unsorted: %v", cs)
+		}
+	}
+	out := s.String()
+	if !strings.Contains(out, string(L2Hits)) {
+		t.Errorf("String missing counter: %q", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio div by zero")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestSheetJSONRoundTrip(t *testing.T) {
+	s := New()
+	s.Add(L2Hits, 7)
+	s.Add(DRAMWrites, 3)
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sheet
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get(L2Hits) != 7 || back.Get(DRAMWrites) != 3 {
+		t.Errorf("round trip lost counters: %s", back.String())
+	}
+	var nilSheet *Sheet
+	if b, err := nilSheet.MarshalJSON(); err != nil || string(b) != "null" {
+		t.Errorf("nil sheet JSON = %q, %v", b, err)
+	}
+}

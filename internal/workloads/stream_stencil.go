@@ -1,0 +1,319 @@
+package workloads
+
+import "repro/internal/kernels"
+
+// Streaming and stencil benchmarks: BabelStream, Square, Hotspot,
+// Hotspot3D, SRAD_v2, DWT2D, NW, Pathfinder.
+
+func init() {
+	register(Spec{
+		Name:  "babelstream",
+		Class: kernels.ModerateHighReuse,
+		Input: "524288",
+		Build: babelStream,
+	})
+	register(Spec{
+		Name:  "square",
+		Class: kernels.ModerateHighReuse,
+		Input: "524288 1 2 2048 256",
+		Build: square,
+	})
+	register(Spec{
+		Name:  "hotspot",
+		Class: kernels.ModerateHighReuse,
+		Input: "512 2 20 temp_512 power_512",
+		Build: hotspot,
+	})
+	register(Spec{
+		Name:  "hotspot3D",
+		Class: kernels.ModerateHighReuse,
+		Input: "512 8 20 power_512x8 temp_512x8",
+		Build: hotspot3D,
+	})
+	register(Spec{
+		Name:  "srad_v2",
+		Class: kernels.LowReuse,
+		Input: "2048 2048 0 127 0 127 0.5 2",
+		Build: sradV2,
+	})
+	register(Spec{
+		Name:  "dwt2d",
+		Class: kernels.LowReuse,
+		Input: "rgb.bmp 4096x4096",
+		Build: dwt2d,
+	})
+	register(Spec{
+		Name:  "nw",
+		Class: kernels.LowReuse,
+		Input: "8192 10",
+		Build: needlemanWunsch,
+	})
+	register(Spec{
+		Name:  "pathfinder",
+		Class: kernels.LowReuse,
+		Input: "200000 100 20",
+		Build: pathfinder,
+	})
+}
+
+// babelStream: five iterative streaming kernels (copy/mul/add/triad/dot)
+// over three 4 MB arrays. Uniform linear partitions give each chiplet a
+// working set that fits its L2, so CPElide elides everything but the final
+// flush; HMG's write-through L2s pay per-store L2-L3 traffic instead.
+func babelStream(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	n := p.scale(524288)
+	a := alloc.Alloc("a", n, 8)
+	b := alloc.Alloc("b", n, 8)
+	c := alloc.Alloc("c", n, 8)
+	sums := alloc.Alloc("sums", 4096, 8)
+	const wgs = 480
+
+	initK := &kernels.Kernel{
+		Name: "init_arrays",
+		Args: []kernels.Arg{
+			{DS: a, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			{DS: b, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			{DS: c, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 120,
+	}
+	copyK := &kernels.Kernel{
+		Name: "copy",
+		Args: []kernels.Arg{
+			{DS: a, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: c, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 120,
+	}
+	mulK := &kernels.Kernel{
+		Name: "mul",
+		Args: []kernels.Arg{
+			{DS: c, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: b, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 150,
+	}
+	addK := &kernels.Kernel{
+		Name: "add",
+		Args: []kernels.Arg{
+			{DS: a, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: b, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: c, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 180,
+	}
+	triadK := &kernels.Kernel{
+		Name: "triad",
+		Args: []kernels.Arg{
+			{DS: b, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: c, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: a, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 180,
+	}
+	dotK := &kernels.Kernel{
+		Name: "dot",
+		Args: []kernels.Arg{
+			{DS: a, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: b, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: sums, Mode: kernels.ReadWrite, Pattern: kernels.Linear, ReadModifyWrite: true},
+		},
+		WGs: wgs, ComputePerWG: 200, LDSBytesPerWG: 2048,
+	}
+	seq := []*kernels.Kernel{initK}
+	seq = repeat(seq, p.iters(10), copyK, mulK, addK, triadK, dotK)
+	return workload("babelstream", kernels.ModerateHighReuse, 0xBA8E, seq)
+}
+
+// square: the paper's Listing 1 example — C = A*A iterated, read-only input
+// reused every kernel.
+func square(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	n := p.scale(524288)
+	a := alloc.Alloc("A", n, 4)
+	c := alloc.Alloc("C", n, 4)
+	const wgs = 480
+	initK := &kernels.Kernel{
+		Name: "init",
+		Args: []kernels.Arg{
+			{DS: a, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 100,
+	}
+	sq := &kernels.Kernel{
+		Name: "square",
+		Args: []kernels.Arg{
+			{DS: c, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			{DS: a, Mode: kernels.Read, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 130,
+	}
+	seq := []*kernels.Kernel{initK}
+	seq = repeat(seq, p.iters(20), sq)
+	return workload("square", kernels.ModerateHighReuse, 0x504A, seq)
+}
+
+// hotspot: 2D thermal stencil, ping-ponging two 1 MB temperature grids.
+// Compute-bound (the paper: "bottlenecked by compute stalls"), so extra L2
+// hits barely help any protocol.
+func hotspot(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	n := p.scale(512 * 512)
+	t0 := alloc.Alloc("temp0", n, 4)
+	t1 := alloc.Alloc("temp1", n, 4)
+	power := alloc.Alloc("power", n, 4)
+	const wgs = 480
+	step := func(in, out *kernels.DataStructure, name string) *kernels.Kernel {
+		return &kernels.Kernel{
+			Name: name,
+			Args: []kernels.Arg{
+				{DS: in, Mode: kernels.Read, Pattern: kernels.Stencil, HaloLines: 1},
+				{DS: power, Mode: kernels.Read, Pattern: kernels.Linear},
+				{DS: out, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			},
+			WGs: wgs, ComputePerWG: 9000, LDSBytesPerWG: 16384,
+		}
+	}
+	seq := repeat(nil, p.iters(20), step(t0, t1, "hotspot_even"), step(t1, t0, "hotspot_odd"))
+	return workload("hotspot", kernels.ModerateHighReuse, 0x4075, seq)
+}
+
+// hotspot3D: memory-bound 3D stencil over 4 MB grids with a read-only power
+// array; inter-kernel L2 reuse of the read-only and ping-pong arrays is what
+// CPElide preserves (+37% in the paper).
+func hotspot3D(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	n := p.scale(1024 * 1024)
+	t0 := alloc.Alloc("temp_in", n, 4)
+	t1 := alloc.Alloc("temp_out", n, 4)
+	power := alloc.Alloc("power", n, 4)
+	const wgs = 480
+	step := func(in, out *kernels.DataStructure, name string) *kernels.Kernel {
+		return &kernels.Kernel{
+			Name: name,
+			Args: []kernels.Arg{
+				{DS: in, Mode: kernels.Read, Pattern: kernels.Stencil, HaloLines: 4},
+				{DS: power, Mode: kernels.Read, Pattern: kernels.Linear},
+				{DS: out, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			},
+			WGs: wgs, ComputePerWG: 260,
+		}
+	}
+	seq := repeat(nil, p.iters(20), step(t0, t1, "hotspot3D_even"), step(t1, t0, "hotspot3D_odd"))
+	return workload("hotspot3D", kernels.ModerateHighReuse, 0x4073, seq)
+}
+
+// sradV2: speckle-reducing anisotropic diffusion over 16 MB images. The
+// per-iteration working set (64 MB) far exceeds the aggregate L2, so there
+// is no reuse for anyone to preserve; HMG additionally suffers directory
+// evictions (the paper: Baseline outperforms HMG here by ~15%).
+func sradV2(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	n := p.scale(2048 * 2048)
+	img := alloc.Alloc("J", n, 4)
+	coef := alloc.Alloc("c", n, 4)
+	dN := alloc.Alloc("dN", n, 4)
+	dS := alloc.Alloc("dS", n, 4)
+	const wgs = 480
+	srad1 := &kernels.Kernel{
+		Name: "srad_kernel1",
+		Args: []kernels.Arg{
+			{DS: img, Mode: kernels.Read, Pattern: kernels.Stencil, HaloLines: 2},
+			{DS: coef, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			{DS: dN, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			{DS: dS, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+		},
+		WGs: wgs, ComputePerWG: 420,
+	}
+	srad2 := &kernels.Kernel{
+		Name: "srad_kernel2",
+		Args: []kernels.Arg{
+			{DS: coef, Mode: kernels.Read, Pattern: kernels.Stencil, HaloLines: 1},
+			{DS: dN, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: dS, Mode: kernels.Read, Pattern: kernels.Linear},
+			{DS: img, Mode: kernels.ReadWrite, Pattern: kernels.Linear, ReadModifyWrite: true},
+		},
+		WGs: wgs, ComputePerWG: 420,
+	}
+	seq := repeat(nil, p.iters(4), srad1, srad2)
+	return workload("srad_v2", kernels.LowReuse, 0x54AD, seq)
+}
+
+// dwt2d: discrete wavelet transform levels, each kernel consuming one level
+// and producing the next quarter-sized one. The 16 MB level-0 read dominates
+// and is touched once — little inter-kernel reuse.
+func dwt2d(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	const wgs = 480
+	level := func(in, out *kernels.DataStructure, name string) *kernels.Kernel {
+		return &kernels.Kernel{
+			Name: name,
+			Args: []kernels.Arg{
+				{DS: in, Mode: kernels.Read, Pattern: kernels.Linear},
+				{DS: out, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			},
+			WGs: wgs, ComputePerWG: 600, LDSBytesPerWG: 8192,
+		}
+	}
+	var seq []*kernels.Kernel
+	for f := 0; f < p.iters(3); f++ {
+		// Each frame decomposes fresh image data into fresh level buffers
+		// (double buffering): every byte is produced once and consumed
+		// once, which is what makes DWT2D a low-reuse workload.
+		l0 := alloc.Alloc(fmt2("frame%d", f), p.scale(4096*1024), 4)
+		l1 := alloc.Alloc(fmt2("l1_f%d", f), p.scale(1024*1024), 4)
+		l2 := alloc.Alloc(fmt2("l2_f%d", f), p.scale(256*1024), 4)
+		l3 := alloc.Alloc(fmt2("l3_f%d", f), p.scale(64*1024), 4)
+		seq = append(seq,
+			level(l0, l1, fmt2("fdwt_l1_f%d", f)),
+			level(l1, l2, fmt2("fdwt_l2_f%d", f)),
+			level(l2, l3, fmt2("fdwt_l3_f%d", f)),
+		)
+	}
+	return workload("dwt2d", kernels.LowReuse, 0xD472, seq)
+}
+
+// needlemanWunsch: anti-diagonal wavefront over a large score matrix,
+// modeled as per-strip kernels that touch each 4 MB strip once (plus the
+// read-only reference strip) — essentially no inter-kernel reuse.
+func needlemanWunsch(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	const strips = 8
+	const wgs = 480
+	var seq []*kernels.Kernel
+	for i := 0; i < strips; i++ {
+		items := alloc.Alloc(fmt2("items%d", i), p.scale(1024*1024), 4)
+		ref := alloc.Alloc(fmt2("ref%d", i), p.scale(1024*1024), 4)
+		seq = append(seq, &kernels.Kernel{
+			Name: fmt2("nw_strip%d", i),
+			Args: []kernels.Arg{
+				{DS: ref, Mode: kernels.Read, Pattern: kernels.Linear},
+				{DS: items, Mode: kernels.ReadWrite, Pattern: kernels.Linear, ReadModifyWrite: true},
+			},
+			WGs: wgs, ComputePerWG: 6000, LDSBytesPerWG: 8192,
+		})
+	}
+	return workload("nw", kernels.LowReuse, 0x2117, seq)
+}
+
+// pathfinder: dynamic programming over a grid streamed row-block by
+// row-block; each wall chunk is read exactly once, only the small result
+// ping-pong rows are reused.
+func pathfinder(alloc *kernels.Allocator, p Params) *kernels.Workload {
+	const chunks = 20
+	const wgs = 480
+	r0 := alloc.Alloc("result0", p.scale(200*1024), 4)
+	r1 := alloc.Alloc("result1", p.scale(200*1024), 4)
+	var seq []*kernels.Kernel
+	for i := 0; i < chunks; i++ {
+		wall := alloc.Alloc(fmt2("wall%d", i), p.scale(1024*1024), 4)
+		in, out := r0, r1
+		if i%2 == 1 {
+			in, out = r1, r0
+		}
+		seq = append(seq, &kernels.Kernel{
+			Name: fmt2("dynproc%d", i),
+			Args: []kernels.Arg{
+				{DS: wall, Mode: kernels.Read, Pattern: kernels.Linear},
+				{DS: in, Mode: kernels.Read, Pattern: kernels.Stencil, HaloLines: 1},
+				{DS: out, Mode: kernels.ReadWrite, Pattern: kernels.Linear},
+			},
+			WGs: wgs, ComputePerWG: 260, LDSBytesPerWG: 4096,
+		})
+	}
+	return workload("pathfinder", kernels.LowReuse, 0x9AFF, seq)
+}

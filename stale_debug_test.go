@@ -1,0 +1,59 @@
+package cpelide
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TestStaleDebug is a diagnostic harness: it runs one workload under
+// CPElide with per-kernel stale-read attribution. Enabled manually while
+// hunting coherence bugs; kept because it prints nothing when healthy.
+func TestStaleDebug(t *testing.T) {
+	for _, name := range []string{"hotspot", "hacc", "color", "pennant"} {
+		alloc := NewAllocator(4096)
+		w, err := workloads.Build(name, alloc, workloads.Params{Scale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(4)
+		sheet := stats.New()
+		m := machine.New(cfg, w.Bounds(), sheet)
+		proto := core.New(m)
+		x := gpu.New(m, proto, w.Seed)
+
+		cur := "?"
+		reported := 0
+		m.Mem.OnStale = func(line mem.Addr, obs, latest uint32) {
+			if reported >= 3 {
+				return
+			}
+			reported++
+			ds := "?"
+			for _, d := range w.Structures {
+				if d.Range().Contains(line) {
+					ds = d.Name
+				}
+			}
+			t.Errorf("%s: stale read in kernel %s: line %#x (struct %s, off %d) observed v%d latest v%d\n%s",
+				name, cur, line, ds, line-HeapBase, obs, latest, proto.Table)
+		}
+
+		chs := []int{0, 1, 2, 3}
+		for inst, k := range w.Sequence {
+			l := cp.BuildLaunch(k, inst, 0, chs, cfg.LineSize, true)
+			cur = fmt.Sprintf("#%d %s", inst, k.Name)
+			x.RunKernel(l, inst == 0)
+			if reported >= 3 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package cpelide
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/cp"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// buildBench constructs one of the paper's benchmarks at reduced scale.
+func buildBench(t *testing.T, name string, scale float64) *Workload {
+	t.Helper()
+	alloc := NewAllocator(4096)
+	w, err := workloads.Build(name, alloc, workloads.Params{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestAllBenchmarksAllProtocolsCoherent is the central correctness gate:
+// every Table II benchmark under every protocol and several machine shapes
+// must complete with zero stale reads — i.e. no protocol ever elides a
+// synchronization correctness required.
+func TestAllBenchmarksAllProtocolsCoherent(t *testing.T) {
+	scale := 0.1
+	chiplets := []int{4}
+	if !testing.Short() {
+		chiplets = []int{2, 4, 7}
+	}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, n := range chiplets {
+				cfg := DefaultConfig(n)
+				for _, p := range allProtocols {
+					w := buildBench(t, name, scale)
+					rep, err := Run(cfg, w, Options{Protocol: p})
+					if err != nil {
+						t.Fatalf("%d chiplets / %v: %v", n, p, err)
+					}
+					if rep.StaleReads != 0 {
+						t.Errorf("%d chiplets / %v: %d stale reads",
+							n, p, rep.StaleReads)
+					}
+					if rep.Cycles == 0 || rep.Accesses == 0 {
+						t.Errorf("%d chiplets / %v: empty run", n, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCPElideVariantsCoherent exercises the ablation configurations through
+// full benchmarks: range-based operations, mode-only annotations, and a
+// tiny Chiplet Coherence Table that forces constant eviction.
+func TestCPElideVariantsCoherent(t *testing.T) {
+	variants := []Options{
+		{Protocol: ProtocolCPElide, CPElideRangeOps: true},
+		{Protocol: ProtocolCPElide, NoRangeInfo: true},
+		{Protocol: ProtocolCPElide, CPElideTableEntries: 4},
+		{Protocol: ProtocolCPElide, NoRangeInfo: true, CPElideTableEntries: 4},
+		{Protocol: ProtocolCPElide, SyncLatencySets: 4},
+		{Protocol: ProtocolHMG, HMGDirLinesPerEntry: 1},
+		{Protocol: ProtocolHMG, HMGDirEntries: 256},
+	}
+	names := workloads.Names()
+	if testing.Short() {
+		names = []string{"babelstream", "hotspot3D", "sssp", "btree"}
+	}
+	for _, name := range names {
+		for i, opt := range variants {
+			w := buildBench(t, name, 0.1)
+			rep, err := Run(DefaultConfig(4), w, opt)
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", name, i, err)
+			}
+			if rep.StaleReads != 0 {
+				t.Errorf("%s variant %d: %d stale reads", name, i, rep.StaleReads)
+			}
+		}
+	}
+}
+
+// TestTinyTableStillCorrectButSlower: a 4-entry table forces evictions with
+// conservative synchronization; correctness must hold and elision decrease.
+func TestTinyTableStillCorrectButSlower(t *testing.T) {
+	w := buildBench(t, "babelstream", 0.25)
+	full, err := Run(DefaultConfig(4), w, Options{Protocol: ProtocolCPElide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := buildBench(t, "babelstream", 0.25)
+	tiny, err := Run(DefaultConfig(4), w2, Options{Protocol: ProtocolCPElide, CPElideTableEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.StaleReads != 0 {
+		t.Fatalf("tiny table incoherent: %d stale reads", tiny.StaleReads)
+	}
+	fullOps := full.Sheet.Get(stats.ReleasesIssued) + full.Sheet.Get(stats.AcquiresIssued)
+	tinyOps := tiny.Sheet.Get(stats.ReleasesIssued) + tiny.Sheet.Get(stats.AcquiresIssued)
+	if tinyOps <= fullOps {
+		t.Errorf("tiny table issued %d ops, full table %d — eviction sync missing",
+			tinyOps, fullOps)
+	}
+}
+
+// TestBrokenProtocolIsCaught: a protocol that never synchronizes must trip
+// the staleness checker on a producer-consumer workload — proof that the
+// checker has teeth.
+func TestBrokenProtocolIsCaught(t *testing.T) {
+	w := buildBench(t, "hotspot3D", 0.1)
+	cfg := DefaultConfig(4)
+	sheet := stats.New()
+	m := machine.New(cfg, w.Bounds(), sheet)
+	x := gpu.New(m, &elideEverything{coherence.NewBaseline(m)}, w.Seed)
+	runner, err := cp.NewRunner(x, []StreamSpec{{Workload: w}}, cp.RunnerConfig{RangeInfo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Run()
+	if m.Mem.StaleReads() == 0 {
+		t.Fatal("elide-everything protocol produced no stale reads; checker is blind")
+	}
+}
+
+// elideEverything is deliberately broken: it never flushes or invalidates.
+type elideEverything struct{ *coherence.Baseline }
+
+func (p *elideEverything) PreLaunch(*coherence.Launch) coherence.SyncPlan {
+	return coherence.SyncPlan{}
+}
+func (p *elideEverything) Finalize() coherence.SyncPlan { return coherence.SyncPlan{} }
+
+// TestMultiStreamDisjointCoherent runs two concurrent streams.
+func TestMultiStreamDisjointCoherent(t *testing.T) {
+	alloc := NewAllocator(4096)
+	w0, err := workloads.Build("square", alloc, workloads.Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := workloads.Build("hotspot3D", alloc, workloads.Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range allProtocols {
+		rep, err := RunStreams(DefaultConfig(4), []StreamSpec{
+			{Workload: w0, Chiplets: []int{0, 1}},
+			{Workload: w1, Chiplets: []int{2, 3}},
+		}, Options{Protocol: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.StaleReads != 0 {
+			t.Errorf("%v: %d stale reads", p, rep.StaleReads)
+		}
+	}
+}
+
+// TestChipletScalingTrend: CPElide's advantage over HMG grows (or at least
+// does not invert) from 4 to 7 chiplets on a streaming workload, the
+// Section V-C scaling claim.
+func TestChipletScalingTrend(t *testing.T) {
+	ratio := func(n int) float64 {
+		w := buildBench(t, "square", 0.25)
+		e, err := Run(DefaultConfig(n), w, Options{Protocol: ProtocolCPElide})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := buildBench(t, "square", 0.25)
+		h, err := Run(DefaultConfig(n), w2, Options{Protocol: ProtocolHMG})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(h.Cycles) / float64(e.Cycles)
+	}
+	if r4, r7 := ratio(4), ratio(7); r7 < r4*0.9 {
+		t.Errorf("CPElide-over-HMG shrank sharply with chiplets: %.3f -> %.3f", r4, r7)
+	}
+}
