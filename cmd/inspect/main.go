@@ -3,21 +3,30 @@
 // (modes, patterns, per-chiplet ranges), the dynamic kernel sequence, and a
 // dry-run of the Chiplet Coherence Table's decisions for the first launches.
 //
+// With -audit it instead runs a full CPElide simulation and prints the
+// elision audit log: per kernel boundary, which implicit acquires/releases
+// were issued vs. elided on each chiplet, and the coherence-table state
+// that justified the decision.
+//
 // Usage:
 //
 //	inspect -workload hotspot3D
 //	inspect -workload sssp -launches 8 -chiplets 4
+//	inspect -workload color -audit -launches 12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -29,6 +38,8 @@ func main() {
 		chiplets = flag.Int("chiplets", 4, "chiplet count for partitioning")
 		launches = flag.Int("launches", 6, "number of launches to dry-run through the table")
 		scale    = flag.Float64("scale", 1.0, "footprint scale")
+		audit    = flag.Bool("audit", false, "run a CPElide simulation and print the elision audit log")
+		showTbl  = flag.Bool("audit-table", false, "with -audit, also print each boundary's pre-launch table state")
 	)
 	flag.Parse()
 
@@ -36,6 +47,11 @@ func main() {
 	w, err := workloads.Build(*name, alloc, workloads.Params{Scale: *scale})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *audit {
+		runAudit(w, *chiplets, *launches, *showTbl)
+		return
 	}
 
 	fmt.Printf("%s (%s reuse) — %d structures, %d dynamic kernels, %.1f MB footprint\n\n",
@@ -109,3 +125,65 @@ func main() {
 	}
 	fmt.Printf("\n%s", table)
 }
+
+// runAudit executes the workload under CPElide with tracing enabled and
+// prints the elision audit log: what every kernel boundary issued vs.
+// elided, per chiplet, and a run summary.
+func runAudit(w *kernels.Workload, chiplets, launches int, showTable bool) {
+	rec := trace.New(0)
+	rep, err := cpelide.Run(cpelide.DefaultConfig(chiplets), w, cpelide.Options{
+		Protocol: cpelide.ProtocolCPElide,
+		Trace:    rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	audits := rec.Audits()
+	fmt.Printf("%s under CPElide on %d chiplets: %d dynamic kernels, %d cycles, %d stale reads\n\n",
+		w.Name, chiplets, rep.Kernels, rep.Cycles, rep.StaleReads)
+	fmt.Printf("elision audit log (first %d of %d boundaries):\n", min(launches, len(audits)), len(audits))
+	var acqI, relI, acqE, relE uint64
+	for i, a := range audits {
+		acqI += a.AcquiresIssued
+		relI += a.ReleasesIssued
+		acqE += a.AcquiresElided
+		relE += a.ReleasesElided
+		if i >= launches {
+			continue
+		}
+		var ops []string
+		for _, d := range a.Decisions {
+			switch {
+			case d.ReleaseIssued && d.AcquireIssued:
+				ops = append(ops, fmt.Sprintf("c%d:rel+acq", d.Chiplet))
+			case d.ReleaseIssued:
+				ops = append(ops, fmt.Sprintf("c%d:rel", d.Chiplet))
+			case d.AcquireIssued:
+				ops = append(ops, fmt.Sprintf("c%d:acq", d.Chiplet))
+			}
+		}
+		issued := strings.Join(ops, " ")
+		if issued == "" {
+			issued = "all elided"
+		}
+		fmt.Printf("  @%-10d #%-3d %-24s issued[%s]  elided acq/rel %d/%d\n",
+			a.Ts, a.Inst, a.Kernel, issued, a.AcquiresElided, a.ReleasesElided)
+		if showTable && a.Table != "" {
+			for _, line := range strings.Split(strings.TrimRight(a.Table, "\n"), "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+	}
+	fmt.Printf("\ntotals: acquires issued/elided %d/%d, releases issued/elided %d/%d\n",
+		acqI, acqE, relI, relE)
+	fmt.Printf("trace: %d events recorded\n", rec.Len())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+

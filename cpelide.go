@@ -42,6 +42,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Re-exported types so library users can build machines and workloads
@@ -65,7 +66,17 @@ type (
 	Sheet = stats.Sheet
 	// EnergyBreakdown is the Figure 9 energy decomposition.
 	EnergyBreakdown = energy.Breakdown
+	// TraceRecorder records a run's timeline (kernel spans, sync ops,
+	// elision audits) for Chrome-trace export; see Options.Trace.
+	TraceRecorder = trace.Recorder
+	// Histogram is a log2-bucketed latency histogram.
+	Histogram = stats.Histogram
 )
+
+// NewTrace returns a trace recorder to pass in Options.Trace. limit > 0
+// enables ring-buffer mode, retaining only the most recent limit events so
+// long sweeps stay bounded; limit <= 0 retains everything.
+func NewTrace(limit int) *TraceRecorder { return trace.New(limit) }
 
 // Access modes and patterns, re-exported.
 const (
@@ -226,6 +237,17 @@ type Options struct {
 	// synchronization overhead on a 4-chiplet simulation. Cache contents
 	// are untouched; only the exposed latency scales.
 	SyncLatencySets int
+
+	// Trace, when non-nil, records the run's timeline into the recorder:
+	// kernel spans per stream, flush/invalidate operations per chiplet with
+	// line counts, per-launch synchronization exposure, inter-chiplet
+	// transfer volumes, and (under CPElide) the elision audit log. Tracing
+	// is observational only — it changes no simulation counter.
+	Trace *trace.Recorder
+
+	// PerKernelStats populates Report.PerKernel with a counter-sheet delta
+	// per dynamic kernel (plus a final end-of-program entry).
+	PerKernelStats bool
 }
 
 // Report is the outcome of one run.
@@ -246,6 +268,38 @@ type Report struct {
 	Kernels uint64
 	// Accesses is the number of simulated line-granularity accesses.
 	Accesses uint64
+
+	// PerKernel is the per-dynamic-kernel breakdown (Options.PerKernelStats
+	// only): one entry per launch in execution order, plus a final
+	// "(finalize)" entry holding end-of-program activity. Merging every
+	// entry's Sheet reconstructs the run-total Sheet exactly (sums for
+	// additive counters, maxima for peak counters).
+	PerKernel []KernelStats
+
+	// KernelDur and SyncStall are latency histograms over all dynamic
+	// kernels: total kernel duration and exposed synchronization stall,
+	// both in core cycles.
+	KernelDur *Histogram
+	SyncStall *Histogram
+}
+
+// KernelStats is one dynamic kernel's slice of the run.
+type KernelStats struct {
+	// Kernel is the static kernel name ("(finalize)" for the trailing
+	// end-of-program entry).
+	Kernel string `json:"kernel"`
+	// Inst is the dynamic kernel index within its stream (-1 for finalize).
+	Inst   int `json:"inst"`
+	Stream int `json:"stream"`
+	// Start and End bound the kernel's span in core cycles.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Cycles is the kernel's duration including exposed synchronization;
+	// SyncCycles is the exposed synchronization portion.
+	Cycles     uint64 `json:"cycles"`
+	SyncCycles uint64 `json:"sync_cycles"`
+	// Sheet is the counter delta attributed to this kernel.
+	Sheet *Sheet `json:"sheet"`
 }
 
 // Flits returns the run's interconnect traffic by Figure 10's classes.
@@ -305,6 +359,7 @@ func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
 
 	sheet := stats.New()
 	m := machine.New(cfg, bounds, sheet)
+	m.Trace = opt.Trace
 	var proto coherence.Protocol
 	switch opt.Protocol {
 	case ProtocolBaseline:
@@ -338,6 +393,7 @@ func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
 		RangeInfo:        !opt.NoRangeInfo,
 		Placement:        opt.Placement,
 		InferAnnotations: opt.InferAnnotations,
+		PerKernel:        opt.PerKernelStats,
 	})
 	if err != nil {
 		return nil, err
@@ -353,9 +409,35 @@ func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
 		Energy:     energy.FromSheet(sheet),
 		StaleReads: m.Mem.StaleReads(),
 		Kernels:    sheet.Get(stats.KernelsLaunched),
+		KernelDur:  stats.NewHistogram("kernel duration (cycles)"),
+		SyncStall:  stats.NewHistogram("sync stall (cycles)"),
 	}
 	for _, rec := range runner.Records {
 		rep.Accesses += rec.Result.Accesses
+		rep.KernelDur.Observe(rec.Result.Cycles)
+		rep.SyncStall.Observe(rec.Result.SyncCycles)
+	}
+	if opt.PerKernelStats {
+		rep.PerKernel = make([]KernelStats, 0, len(runner.Records)+1)
+		for _, rec := range runner.Records {
+			rep.PerKernel = append(rep.PerKernel, KernelStats{
+				Kernel:     rec.Launch.Kernel.Name,
+				Inst:       rec.Launch.Inst,
+				Stream:     rec.Launch.Stream,
+				Start:      uint64(rec.Start),
+				End:        uint64(rec.End),
+				Cycles:     rec.Result.Cycles,
+				SyncCycles: rec.Result.SyncCycles,
+				Sheet:      rec.Delta,
+			})
+		}
+		rep.PerKernel = append(rep.PerKernel, KernelStats{
+			Kernel: "(finalize)",
+			Inst:   -1,
+			Start:  uint64(cycles),
+			End:    uint64(cycles),
+			Sheet:  runner.FinalDelta,
+		})
 	}
 	return rep, nil
 }

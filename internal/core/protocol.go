@@ -6,6 +6,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Protocol is CPElide as a pluggable coherence policy: the baseline
@@ -64,6 +65,12 @@ func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 	}
 
 	views := p.argViews(l)
+	var preState string
+	if m.Trace.Enabled() {
+		// Snapshot the table before the launch mutates it: the audit log
+		// must show the state that justified the decisions.
+		preState = p.Table.String()
+	}
 	ops := p.Table.OnKernelLaunch(views)
 
 	plan := coherence.SyncPlan{
@@ -94,6 +101,35 @@ func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 	m.Sheet.Add(stats.AcquiresElided, n-minu(uint64(acquires), n))
 	m.Sheet.Max(stats.TablePeakUse, uint64(p.Table.PeakEntries))
 	m.Sheet.Set(stats.TableCoarsening, uint64(p.Table.Coarsenings))
+
+	if m.Trace.Enabled() {
+		audit := trace.Audit{
+			Ts:     m.Trace.Now(),
+			Kernel: l.Kernel.Name,
+			Inst:   l.Inst,
+			Stream: l.Stream,
+			// The elision increments mirror the sheet accounting above
+			// exactly, so summing the audit log reproduces the counters.
+			AcquiresIssued: uint64(acquires),
+			ReleasesIssued: uint64(releases),
+			AcquiresElided: n - minu(uint64(acquires), n),
+			ReleasesElided: n - minu(uint64(releases), n),
+			Table:          preState,
+		}
+		decisions := make([]trace.ChipletDecision, cfg.NumChiplets)
+		for c := range decisions {
+			decisions[c].Chiplet = c
+		}
+		for _, op := range ops {
+			if op.Flush {
+				decisions[op.Chiplet].ReleaseIssued = true
+			} else {
+				decisions[op.Chiplet].AcquireIssued = true
+			}
+		}
+		audit.Decisions = decisions
+		m.Trace.AuditKernel(audit)
+	}
 	return plan
 }
 

@@ -32,6 +32,12 @@ type Record struct {
 	Start  event.Time
 	End    event.Time
 	Result gpu.KernelResult
+
+	// Delta is the kernel's counter activity (RunnerConfig.PerKernel only):
+	// additive counters hold the increase during this kernel, peak/level
+	// counters their running absolute value. Merging every Record's Delta
+	// plus the Runner's FinalDelta reconstructs the run-total sheet.
+	Delta *stats.Sheet
 }
 
 // PagePlacement selects the NUMA page placement policy (Section IV-C1 uses
@@ -64,6 +70,10 @@ type RunnerConfig struct {
 	// profiling pass over its actual accesses (record-and-replay style
 	// automation of the paper's annotations) instead of static analysis.
 	InferAnnotations bool
+	// PerKernel snapshots the stats sheet at every kernel boundary and
+	// attaches the delta to each Record (plus the Runner's FinalDelta for
+	// end-of-program activity).
+	PerKernel bool
 }
 
 // Runner owns the global CP's dispatch loop over the event engine.
@@ -75,6 +85,10 @@ type Runner struct {
 	streams     []*streamState
 	chipletBusy []event.Time
 	Records     []Record
+
+	// FinalDelta is the counter activity after the last kernel (end-of-
+	// program releases, total-cycle accounting) when Cfg.PerKernel is set.
+	FinalDelta *stats.Sheet
 }
 
 type streamState struct {
@@ -119,6 +133,11 @@ func NewRunner(x *gpu.Executor, specs []StreamSpec, rc RunnerConfig) (*Runner, e
 		}
 		r.streams = append(r.streams, ss)
 		prePlace(m, spec.Workload, chs, rc.Placement)
+	}
+	if rec := m.Trace; rec != nil {
+		// The engine clocks the recorder so emissions deep in the machine
+		// carry launch-boundary timestamps without any time plumbing.
+		r.Eng.OnDeliver = func(t event.Time) { rec.SetNow(uint64(t)) }
 	}
 	return r, nil
 }
@@ -222,8 +241,15 @@ func prePlace(m *machine.Machine, w *kernels.Workload, chiplets []int, policy Pa
 func (r *Runner) Run() uint64 {
 	r.Eng.Schedule(0, event.HandlerFunc(r.dispatch), nil)
 	end := r.Eng.Run()
+	var pre *stats.Sheet
+	if r.Cfg.PerKernel {
+		pre = r.X.M.Sheet.Clone()
+	}
 	total := uint64(end) + r.X.Finalize()
 	r.X.M.Sheet.Set(stats.TotalCycles, total)
+	if r.Cfg.PerKernel {
+		r.FinalDelta = r.X.M.Sheet.DeltaFrom(pre)
+	}
 	return total
 }
 
@@ -236,9 +262,26 @@ func (r *Runner) dispatch(event.Event) {
 			l := ss.launches[ss.next]
 			exposeCP := !ss.started
 			ss.started = true
+			sheet, rec := r.X.M.Sheet, r.X.M.Trace
+			var pre *stats.Sheet
+			if r.Cfg.PerKernel {
+				pre = sheet.Clone()
+			}
+			var remote0 uint64
+			if rec != nil {
+				remote0 = sheet.Get(stats.FlitsRemote)
+			}
 			res := r.X.RunKernel(l, exposeCP)
 			endT := now + event.Time(res.Cycles)
-			r.Records = append(r.Records, Record{Launch: l, Start: now, End: endT, Result: res})
+			record := Record{Launch: l, Start: now, End: endT, Result: res}
+			if r.Cfg.PerKernel {
+				record.Delta = sheet.DeltaFrom(pre)
+			}
+			if rec != nil {
+				rec.Kernel(ss.id, l.Kernel.Name, l.Inst, uint64(now), res.Cycles, res.SyncCycles)
+				rec.Transfer(ss.id, l.Inst, sheet.Get(stats.FlitsRemote)-remote0)
+			}
+			r.Records = append(r.Records, record)
 			ss.prevEnd = endT
 			for _, c := range ss.chiplets {
 				r.chipletBusy[c] = endT

@@ -63,6 +63,11 @@ type Engine struct {
 	pending queue
 	nextSeq uint64
 	stopped bool
+
+	// OnDeliver, when non-nil, is invoked with the (already advanced) clock
+	// before each event's handler runs. The trace recorder uses it as its
+	// clock source; observers must not schedule or deliver events.
+	OnDeliver func(Time)
 }
 
 // New returns an Engine with the clock at zero.
@@ -101,6 +106,9 @@ func (e *Engine) Run() Time {
 	for len(e.pending) > 0 && !e.stopped {
 		ev := heap.Pop(&e.pending).(*Event)
 		e.now = ev.When
+		if e.OnDeliver != nil {
+			e.OnDeliver(e.now)
+		}
 		ev.Handler.Handle(*ev)
 	}
 	return e.now
@@ -114,6 +122,9 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.pending).(*Event)
 	e.now = ev.When
+	if e.OnDeliver != nil {
+		e.OnDeliver(e.now)
+	}
 	ev.Handler.Handle(*ev)
 	return true
 }

@@ -111,6 +111,95 @@ func TestEngineStopAndStep(t *testing.T) {
 	}
 }
 
+func TestEngineStopLeavesCalendarAndRunResumes(t *testing.T) {
+	e := New()
+	var got []Time
+	h := HandlerFunc(func(ev Event) {
+		got = append(got, ev.When)
+		if ev.When == 20 {
+			e.Stop()
+		}
+	})
+	for _, when := range []Time{10, 20, 30, 40} {
+		e.Schedule(when, h, nil)
+	}
+	end := e.Run()
+	if end != 20 {
+		t.Errorf("first Run stopped at %d, want 20", end)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Stop drained the calendar: %d pending, want 2", e.Pending())
+	}
+	// Run resumes from the remaining calendar: the stopped flag is cleared
+	// at entry and the undelivered events fire in order.
+	end = e.Run()
+	if end != 40 {
+		t.Errorf("resumed Run ended at %d, want 40", end)
+	}
+	want := []Time{10, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineResetAfterStop(t *testing.T) {
+	e := New()
+	e.Schedule(1, HandlerFunc(func(Event) { e.Stop() }), nil)
+	e.Schedule(2, HandlerFunc(func(Event) {}), nil)
+	e.Run()
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	// After Reset the engine is indistinguishable from a fresh one: the
+	// stopped flag is clear (Run delivers again) and the seq counter is
+	// rewound (same-time events still tie-break in FIFO order from zero).
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(7, HandlerFunc(func(Event) { got = append(got, i) }), nil)
+	}
+	if end := e.Run(); end != 7 {
+		t.Errorf("post-Reset Run ended at %d, want 7", end)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("post-Reset tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineOnDeliver(t *testing.T) {
+	e := New()
+	var clocks []Time
+	e.OnDeliver = func(t Time) { clocks = append(clocks, t) }
+	h := HandlerFunc(func(ev Event) {
+		if e.Now() != ev.When {
+			t.Errorf("OnDeliver/handler clock mismatch at %d", ev.When)
+		}
+	})
+	for _, when := range []Time{5, 15, 25} {
+		e.Schedule(when, h, nil)
+	}
+	e.Run()
+	e.Schedule(30, h, nil)
+	e.Step()
+	want := []Time{5, 15, 25, 30}
+	if len(clocks) != len(want) {
+		t.Fatalf("OnDeliver fired %d times, want %d", len(clocks), len(want))
+	}
+	for i := range want {
+		if clocks[i] != want[i] {
+			t.Fatalf("OnDeliver clocks %v, want %v", clocks, want)
+		}
+	}
+}
+
 // Property: any random schedule is delivered in nondecreasing time order and
 // completely.
 func TestEngineOrderProperty(t *testing.T) {

@@ -72,6 +72,7 @@ func (x *Executor) ExecutePlan(plan coherence.SyncPlan) uint64 {
 		if plan.HostRoundTripCycles > 0 {
 			m.Sheet.Add(stats.SyncCycles, uint64(plan.HostRoundTripCycles))
 		}
+		m.Trace.Plan(0, uint64(plan.HostRoundTripCycles))
 		return uint64(plan.HostRoundTripCycles)
 	}
 	perChiplet := make(map[int]int, cfg.NumChiplets)
@@ -112,6 +113,7 @@ func (x *Executor) ExecutePlan(plan coherence.SyncPlan) uint64 {
 	exposed += plan.HostRoundTripCycles
 	m.Sheet.Add(stats.CPMessages, uint64(plan.Messages))
 	m.Sheet.Add(stats.SyncCycles, uint64(exposed))
+	m.Trace.Plan(len(plan.Ops), uint64(exposed))
 	return uint64(exposed)
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // reqBytes is the size of a request/ack message on the interconnect; line
@@ -23,6 +24,11 @@ type Machine struct {
 	Mem    *mem.Memory
 	Pages  *mem.PageTable
 	Fabric *noc.Fabric
+
+	// Trace, when non-nil, receives timeline events (maintenance operations
+	// with line counts here; kernel spans and audits from the layers above).
+	// Tracing never touches Sheet, so enabling it changes no counter.
+	Trace *trace.Recorder
 
 	L1 [][]*mem.Cache // [chiplet][cu]
 	L2 []*mem.Cache   // [chiplet]
@@ -226,7 +232,9 @@ func (m *Machine) FlushL2(chiplet int) (lines, cycles int) {
 		m.CommitWriteback(line, ver, chiplet)
 	})
 	m.Sheet.Inc(stats.L2FlushOps)
-	return lines, m.maintenanceCycles(walked, lines)
+	cycles = m.maintenanceCycles(walked, lines)
+	m.Trace.Sync(chiplet, trace.Release, uint64(lines), uint64(cycles))
+	return lines, cycles
 }
 
 // FlushL2Ranges writes back dirty lines within rs (the fine-grained
@@ -238,7 +246,9 @@ func (m *Machine) FlushL2Ranges(chiplet int, rs mem.RangeSet) (lines, cycles int
 		m.CommitWriteback(line, ver, chiplet)
 	})
 	m.Sheet.Inc(stats.L2FlushOps)
-	return lines, m.maintenanceCycles(walked, lines)
+	cycles = m.maintenanceCycles(walked, lines)
+	m.Trace.Sync(chiplet, trace.Release, uint64(lines), uint64(cycles))
+	return lines, cycles
 }
 
 // InvalidateL2 drops every line of chiplet's L2 (an acquire). Dirty lines
@@ -253,7 +263,9 @@ func (m *Machine) InvalidateL2(chiplet int) (lines, cycles int) {
 	lines = c.InvalidateAll()
 	m.Sheet.Add(stats.L2Invalidates, uint64(lines))
 	m.Sheet.Inc(stats.L2InvOps)
-	return lines, m.maintenanceCycles(walked, wb)
+	cycles = m.maintenanceCycles(walked, wb)
+	m.Trace.Sync(chiplet, trace.Acquire, uint64(lines), uint64(cycles))
+	return lines, cycles
 }
 
 // InvalidateL2Ranges drops lines within rs, writing dirty ones back first.
@@ -266,7 +278,9 @@ func (m *Machine) InvalidateL2Ranges(chiplet int, rs mem.RangeSet) (lines, cycle
 	lines = c.InvalidateRanges(rs)
 	m.Sheet.Add(stats.L2Invalidates, uint64(lines))
 	m.Sheet.Inc(stats.L2InvOps)
-	return lines, m.maintenanceCycles(walked, wb)
+	cycles = m.maintenanceCycles(walked, wb)
+	m.Trace.Sync(chiplet, trace.Acquire, uint64(lines), uint64(cycles))
+	return lines, cycles
 }
 
 // maintenanceCycles costs a cache-maintenance operation: a tag walk plus

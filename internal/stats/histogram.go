@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a fixed-footprint log2-bucketed latency histogram: bucket i
+// counts observations whose bit length is i (bucket 0 holds zeros), so the
+// bucket for value v spans [2^(i-1), 2^i). Sixty-five buckets cover the full
+// uint64 range with no per-observation allocation, which keeps per-kernel
+// duration and sync-stall recording off the simulator's allocation profile.
+// Methods on a nil *Histogram are no-ops, like Sheet.
+type Histogram struct {
+	name    string
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram returns an empty histogram labeled name.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Name returns the histogram's label.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest observation (zero when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// upper edge of the bucket holding the q*count-th observation. Exact to
+// within the 2x bucket width.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count-1))
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > target {
+			if i == 0 {
+				return 0
+			}
+			hi := uint64(1)<<uint(i) - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// String renders the nonzero buckets as an aligned table with a bar chart.
+func (h *Histogram) String() string {
+	if h == nil || h.count == 0 {
+		return fmt.Sprintf("%s: empty\n", h.Name())
+	}
+	var peak uint64
+	for _, n := range h.buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d min=%d mean=%.0f p50=%d p99=%d max=%d\n",
+		h.name, h.count, h.min, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+			hi = uint64(1)<<uint(i) - 1
+		}
+		bar := strings.Repeat("#", int(1+n*39/peak))
+		fmt.Fprintf(&b, "  [%12d, %12d] %10d %s\n", lo, hi, n, bar)
+	}
+	return b.String()
+}

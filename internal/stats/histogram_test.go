@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Name() != "" {
+		t.Error("nil histogram returned nonzero state")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Errorf("nil String = %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 1106.0/6 {
+		t.Errorf("mean=%f", h.Mean())
+	}
+	if h.Name() != "lat" {
+		t.Errorf("name=%q", h.Name())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("q")
+	for i := 0; i < 100; i++ {
+		h.Observe(10) // all in bucket [8,15]
+	}
+	h.Observe(1 << 20)
+	// p50 lands in the dense bucket: upper edge 15.
+	if q := h.Quantile(0.5); q != 15 {
+		t.Errorf("p50 = %d, want 15", q)
+	}
+	// p100 is the single large outlier, clamped to the observed max.
+	if q := h.Quantile(1); q != 1<<20 {
+		t.Errorf("p100 = %d, want %d", q, 1<<20)
+	}
+	// Out-of-range q values clamp rather than panic.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping wrong")
+	}
+	// All-zero observations stay zero.
+	z := NewHistogram("z")
+	z.Observe(0)
+	if z.Quantile(0.99) != 0 {
+		t.Error("zero-only quantile nonzero")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram("dur")
+	h.Observe(4)
+	h.Observe(5)
+	h.Observe(900)
+	out := h.String()
+	if !strings.Contains(out, "dur:") || !strings.Contains(out, "n=3") {
+		t.Errorf("summary line wrong: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("missing bar chart: %q", out)
+	}
+}

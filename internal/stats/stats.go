@@ -73,6 +73,23 @@ const (
 	StaleReads    Counter = "check.stale_reads" // functional checker violations; must be 0
 )
 
+// maxSemantics registers the counters that are levels or peaks rather than
+// additive tallies: a running high-water mark (TablePeakUse), a cumulative
+// value written with Set each launch (TableCoarsening), or an end-of-run
+// absolute (TotalCycles, StaleReads). Combining two observations of such a
+// counter must take the maximum — summing two peaks produces a bogus peak —
+// and a windowed delta must report the current absolute value.
+var maxSemantics = map[Counter]bool{
+	TablePeakUse:    true,
+	TableCoarsening: true,
+	TotalCycles:     true,
+	StaleReads:      true,
+}
+
+// IsMax reports whether counter c carries peak/level semantics: Merge takes
+// the maximum for it, and DeltaFrom reports its absolute value.
+func IsMax(c Counter) bool { return maxSemantics[c] }
+
 // Sheet is a set of named counters. The zero value is ready to use after
 // a call to make via New; methods on a nil Sheet are no-ops so components
 // can be run without instrumentation.
@@ -120,14 +137,73 @@ func (s *Sheet) Set(c Counter, n uint64) {
 	s.v[c] = n
 }
 
-// Merge adds every counter of o into s.
+// Merge combines every counter of o into s: additive counters sum, while
+// peak/level counters (IsMax) take the maximum — merging two sheets must not
+// add their table-occupancy peaks together.
 func (s *Sheet) Merge(o *Sheet) {
 	if s == nil || o == nil {
 		return
 	}
 	for c, n := range o.v {
+		if maxSemantics[c] {
+			if s.v[c] < n {
+				s.v[c] = n
+			}
+			continue
+		}
 		s.v[c] += n
 	}
+}
+
+// DeltaFrom returns the counter activity since snapshot prev (typically a
+// Clone taken at a kernel boundary): additive counters report the increase,
+// peak/level counters (IsMax) report their current absolute value. Zero
+// entries are omitted, so merging every windowed delta of a run (sums for
+// additive counters, maxima for peak counters) reconstructs the run total.
+func (s *Sheet) DeltaFrom(prev *Sheet) *Sheet {
+	d := New()
+	if s == nil {
+		return d
+	}
+	for c, n := range s.v {
+		if maxSemantics[c] {
+			if n != 0 {
+				d.v[c] = n
+			}
+			continue
+		}
+		if inc := n - prev.Get(c); inc != 0 {
+			d.v[c] = inc
+		}
+	}
+	return d
+}
+
+// Equal reports whether s and o hold identical nonzero counters.
+func (s *Sheet) Equal(o *Sheet) bool {
+	count := func(sh *Sheet) int {
+		n := 0
+		if sh != nil {
+			for _, v := range sh.v {
+				if v != 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(s) != count(o) {
+		return false
+	}
+	if s == nil {
+		return true
+	}
+	for c, n := range s.v {
+		if n != 0 && o.Get(c) != n {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy of s.

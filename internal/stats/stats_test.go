@@ -88,6 +88,83 @@ func TestRatio(t *testing.T) {
 	}
 }
 
+func TestMergeMaxSemantics(t *testing.T) {
+	if !IsMax(TablePeakUse) || !IsMax(TotalCycles) || IsMax(L2Hits) {
+		t.Fatal("IsMax registry wrong")
+	}
+	a, b := New(), New()
+	a.Set(TablePeakUse, 10)
+	a.Add(L2Hits, 5)
+	b.Set(TablePeakUse, 7)
+	b.Add(L2Hits, 3)
+	a.Merge(b)
+	if a.Get(TablePeakUse) != 10 {
+		t.Errorf("Merge summed a max-semantics counter: peak = %d, want 10", a.Get(TablePeakUse))
+	}
+	if a.Get(L2Hits) != 8 {
+		t.Errorf("Merge broke additive counters: L2Hits = %d, want 8", a.Get(L2Hits))
+	}
+	// Max wins in the other direction too.
+	c := New()
+	c.Set(TablePeakUse, 4)
+	c.Merge(a)
+	if c.Get(TablePeakUse) != 10 {
+		t.Errorf("Merge max wrong way: %d", c.Get(TablePeakUse))
+	}
+}
+
+func TestDeltaFrom(t *testing.T) {
+	pre := New()
+	pre.Add(L2Hits, 10)
+	pre.Set(TablePeakUse, 3)
+	cur := pre.Clone()
+	cur.Add(L2Hits, 7)
+	cur.Add(DRAMReads, 2)
+	cur.Set(TablePeakUse, 5)
+	d := cur.DeltaFrom(pre)
+	if d.Get(L2Hits) != 7 {
+		t.Errorf("additive delta = %d, want 7", d.Get(L2Hits))
+	}
+	if d.Get(DRAMReads) != 2 {
+		t.Errorf("new-counter delta = %d, want 2", d.Get(DRAMReads))
+	}
+	if d.Get(TablePeakUse) != 5 {
+		t.Errorf("max-semantics delta = %d, want absolute value 5", d.Get(TablePeakUse))
+	}
+	// Deltas recombine: pre-activity + each delta merged = current.
+	recombined := pre.Clone()
+	recombined.Merge(d)
+	if !recombined.Equal(cur) {
+		t.Errorf("recombined %s != current %s", recombined, cur)
+	}
+	// DeltaFrom(nil) is the full sheet.
+	full := cur.DeltaFrom(nil)
+	if !full.Equal(cur) {
+		t.Error("DeltaFrom(nil) != sheet")
+	}
+}
+
+func TestSheetEqual(t *testing.T) {
+	a, b := New(), New()
+	a.Add(L2Hits, 2)
+	b.Add(L2Hits, 2)
+	if !a.Equal(b) {
+		t.Error("equal sheets reported unequal")
+	}
+	b.Add(DRAMReads, 1)
+	if a.Equal(b) {
+		t.Error("unequal sheets reported equal")
+	}
+	b.Set(DRAMReads, 0) // zero entries don't count
+	if !a.Equal(b) {
+		t.Error("zero-valued counter broke Equal")
+	}
+	var n *Sheet
+	if !n.Equal(New()) || n.Equal(a) {
+		t.Error("nil Equal wrong")
+	}
+}
+
 func TestSheetJSONRoundTrip(t *testing.T) {
 	s := New()
 	s.Add(L2Hits, 7)

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	// None of these may panic, and all queries must return zero values.
+	r.SetNow(10)
+	r.Kernel(0, "k", 0, 0, 5, 1)
+	r.Sync(1, Release, 10, 20)
+	r.Plan(2, 30)
+	r.Transfer(0, 0, 40)
+	r.AuditKernel(Audit{Kernel: "k"})
+	r.Reset()
+	if r.Enabled() {
+		t.Error("nil recorder reports Enabled")
+	}
+	if r.Now() != 0 || r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder returned nonzero state")
+	}
+	if r.Events() != nil || r.Audits() != nil {
+		t.Error("nil recorder returned events")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("nil WriteChromeJSON: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("nil recorder trace not valid JSON: %v", err)
+	}
+}
+
+func TestRingBufferKeepsMostRecent(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.SetNow(uint64(i * 100))
+		r.Sync(i, Acquire, uint64(i), 1)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d events, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d", len(evs))
+	}
+	for i, e := range evs {
+		wantChiplet := int32(6 + i) // events 6..9 survive, in order
+		if e.Chiplet != wantChiplet || e.Ts != uint64(6+i)*100 {
+			t.Errorf("event %d = chiplet %d ts %d, want chiplet %d ts %d",
+				i, e.Chiplet, e.Ts, wantChiplet, uint64(6+i)*100)
+		}
+	}
+}
+
+func TestRingBufferAudits(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.AuditKernel(Audit{Inst: i})
+	}
+	audits := r.Audits()
+	if len(audits) != 3 {
+		t.Fatalf("audits retained %d, want 3", len(audits))
+	}
+	for i, a := range audits {
+		if a.Inst != 4+i {
+			t.Errorf("audit %d inst %d, want %d", i, a.Inst, 4+i)
+		}
+	}
+}
+
+func TestUnboundedRetainsEverything(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 1000; i++ {
+		r.Kernel(0, "k", i, uint64(i), 1, 0)
+	}
+	if r.Len() != 1000 || r.Dropped() != 0 {
+		t.Fatalf("unbounded recorder: len %d dropped %d", r.Len(), r.Dropped())
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := New(2)
+	r.SetNow(50)
+	r.Sync(0, Release, 1, 2)
+	r.Sync(1, Release, 1, 2)
+	r.Sync(2, Release, 1, 2) // wraps
+	r.AuditKernel(Audit{})
+	r.Reset()
+	if r.Len() != 0 || r.Now() != 0 || r.Dropped() != 0 || len(r.Audits()) != 0 {
+		t.Error("Reset incomplete")
+	}
+	// Ring mode still works after Reset.
+	r.Sync(7, Acquire, 3, 4)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Chiplet != 7 {
+		t.Errorf("post-Reset recording broken: %+v", evs)
+	}
+}
+
+func TestChromeJSONValidAndMonotone(t *testing.T) {
+	r := New(0)
+	// Deliberately record with out-of-order stamps across tracks: the
+	// exporter must still emit nondecreasing timestamps.
+	r.SetNow(500)
+	r.Sync(1, Acquire, 64, 12)
+	r.Kernel(0, "alpha", 0, 0, 400, 10)
+	r.SetNow(900)
+	r.Plan(2, 33)
+	r.Kernel(0, "beta", 1, 500, 400, 0)
+	r.Transfer(0, 1, 1234)
+	r.SetNow(100)
+	r.Sync(0, Release, 8, 9)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	var last uint64
+	var kernels, syncs int
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("timestamps not monotone: %d after %d", e.Ts, last)
+		}
+		last = e.Ts
+		switch e.Name {
+		case "alpha", "beta":
+			kernels++
+		case "release", "acquire":
+			syncs++
+		}
+	}
+	if kernels != 2 {
+		t.Errorf("kernel spans exported: %d, want 2", kernels)
+	}
+	if syncs != 2 {
+		t.Errorf("sync ops exported: %d, want 2", syncs)
+	}
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	if KindKernel.String() != "kernel" || KindSync.String() != "sync" ||
+		KindPlan.String() != "plan" || KindXfer.String() != "xfer" {
+		t.Error("Kind strings wrong")
+	}
+	if Release.String() != "release" || Acquire.String() != "acquire" {
+		t.Error("OpKind strings wrong")
+	}
+}

@@ -1,0 +1,182 @@
+package cpelide
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Per-kernel deltas must recombine to the run total exactly: merging every
+// PerKernel entry's Sheet (sums for additive counters, maxima for peaks)
+// reconstructs the run-total Sheet.
+func TestPerKernelDeltasRecombine(t *testing.T) {
+	for _, build := range []func(int) *Workload{smallSquare, producerConsumer} {
+		w := build(5)
+		for _, p := range []Protocol{ProtocolBaseline, ProtocolCPElide} {
+			rep, err := Run(DefaultConfig(4), w, Options{Protocol: p, PerKernelStats: true})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, p, err)
+			}
+			if len(rep.PerKernel) != int(rep.Kernels)+1 {
+				t.Fatalf("%s/%v: %d PerKernel entries for %d kernels (+1 finalize)",
+					w.Name, p, len(rep.PerKernel), rep.Kernels)
+			}
+			last := rep.PerKernel[len(rep.PerKernel)-1]
+			if last.Kernel != "(finalize)" || last.Inst != -1 {
+				t.Errorf("%s/%v: trailing entry = %q inst %d", w.Name, p, last.Kernel, last.Inst)
+			}
+			total := stats.New()
+			for _, ks := range rep.PerKernel {
+				total.Merge(ks.Sheet)
+			}
+			if !total.Equal(rep.Sheet) {
+				t.Errorf("%s/%v: recombined deltas != run total\nrecombined:\n%s\ntotal:\n%s",
+					w.Name, p, total, rep.Sheet)
+			}
+		}
+	}
+}
+
+// Tracing is observational only: enabling the recorder and per-kernel stats
+// must not change a single counter.
+func TestTracingChangesNoCounters(t *testing.T) {
+	for _, p := range allProtocols {
+		w := producerConsumer(4)
+		plain, err := Run(DefaultConfig(4), w, Options{Protocol: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.New(0)
+		traced, err := Run(DefaultConfig(4), producerConsumer(4), Options{
+			Protocol: p, Trace: rec, PerKernelStats: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Cycles != traced.Cycles || plain.TotalFlits() != traced.TotalFlits() ||
+			plain.StaleReads != traced.StaleReads {
+			t.Errorf("%v: tracing changed headline numbers: %d/%d cycles, %d/%d flits, %d/%d stale",
+				p, plain.Cycles, traced.Cycles, plain.TotalFlits(), traced.TotalFlits(),
+				plain.StaleReads, traced.StaleReads)
+		}
+		if !plain.Sheet.Equal(traced.Sheet) {
+			t.Errorf("%v: tracing changed the counter sheet\nplain:\n%s\ntraced:\n%s",
+				p, plain.Sheet, traced.Sheet)
+		}
+		if rec.Len() == 0 {
+			t.Errorf("%v: recorder captured nothing", p)
+		}
+	}
+}
+
+// The audit log must account for every sync.acquires_elided /
+// sync.releases_elided (and issued) increment: summing the audit records
+// reproduces the sheet counters exactly.
+func TestAuditAccountsForElisionCounters(t *testing.T) {
+	for _, build := range []func(int) *Workload{smallSquare, producerConsumer} {
+		w := build(6)
+		rec := trace.New(0)
+		rep, err := Run(DefaultConfig(4), w, Options{Protocol: ProtocolCPElide, Trace: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		audits := rec.Audits()
+		if uint64(len(audits)) != rep.Kernels {
+			t.Fatalf("%s: %d audits for %d kernels", w.Name, len(audits), rep.Kernels)
+		}
+		var acqI, relI, acqE, relE uint64
+		for _, a := range audits {
+			acqI += a.AcquiresIssued
+			relI += a.ReleasesIssued
+			acqE += a.AcquiresElided
+			relE += a.ReleasesElided
+			// Per-chiplet decisions agree with the boundary's issue counts.
+			var decAcq, decRel uint64
+			for _, d := range a.Decisions {
+				if d.AcquireIssued {
+					decAcq++
+				}
+				if d.ReleaseIssued {
+					decRel++
+				}
+			}
+			if decAcq != a.AcquiresIssued || decRel != a.ReleasesIssued {
+				t.Errorf("%s #%d: decisions %d acq / %d rel vs counts %d/%d",
+					w.Name, a.Inst, decAcq, decRel, a.AcquiresIssued, a.ReleasesIssued)
+			}
+		}
+		s := rep.Sheet
+		if acqI != s.Get(stats.AcquiresIssued) || relI != s.Get(stats.ReleasesIssued) ||
+			acqE != s.Get(stats.AcquiresElided) || relE != s.Get(stats.ReleasesElided) {
+			t.Errorf("%s: audit totals acq %d/%d rel %d/%d != sheet acq %d/%d rel %d/%d (issued/elided)",
+				w.Name, acqI, acqE, relI, relE,
+				s.Get(stats.AcquiresIssued), s.Get(stats.AcquiresElided),
+				s.Get(stats.ReleasesIssued), s.Get(stats.ReleasesElided))
+		}
+	}
+}
+
+// The Chrome trace must contain a span for every launched kernel and
+// flush/invalidate events on every chiplet under the Baseline protocol
+// (which synchronizes GPU-wide at each boundary).
+func TestChromeTraceCompleteness(t *testing.T) {
+	const chiplets = 4
+	rec := trace.New(0)
+	rep, err := Run(DefaultConfig(chiplets), producerConsumer(3), Options{
+		Protocol: ProtocolBaseline, Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	var kernelSpans uint64
+	releaseChiplets := map[int]bool{}
+	acquireChiplets := map[int]bool{}
+	var last uint64
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("timestamps not monotone: %d after %d", e.Ts, last)
+		}
+		last = e.Ts
+		switch {
+		case e.Pid == 1 && e.Ph == "X":
+			kernelSpans++
+		case e.Pid == 2 && e.Name == "release":
+			releaseChiplets[e.Tid] = true
+		case e.Pid == 2 && e.Name == "acquire":
+			acquireChiplets[e.Tid] = true
+		}
+	}
+	if kernelSpans != rep.Kernels {
+		t.Errorf("%d kernel spans in trace for %d launched kernels", kernelSpans, rep.Kernels)
+	}
+	for c := 0; c < chiplets; c++ {
+		if !releaseChiplets[c] {
+			t.Errorf("no flush (release) event for chiplet %d", c)
+		}
+		if !acquireChiplets[c] {
+			t.Errorf("no invalidate (acquire) event for chiplet %d", c)
+		}
+	}
+}
