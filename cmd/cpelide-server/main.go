@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpelide-server: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs)")
+		queueCap = flag.Int("queue", 64, "pending-job queue capacity (full queue => 429)")
+		cacheCap = flag.Int("cache", farm.DefaultCacheEntries, "result cache entries (negative disables caching)")
+	)
+	flag.Parse()
+
+	eng := farm.New(farm.Options{Workers: *workers, CacheEntries: *cacheCap})
+	s := newServer(eng, *queueCap)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d)", *addr, eng.Workers(), *queueCap)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let queued jobs finish,
+	// then stop the farm workers.
+	log.Print("signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	s.Drain()
+	eng.Close()
+	c := eng.Counters()
+	log.Printf("drained: jobs=%d runs=%d cache-hits=%d errors=%d", c.Jobs, c.Runs, c.CacheHits, c.Errors)
+}

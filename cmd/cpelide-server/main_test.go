@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+)
+
+func post(t *testing.T, ts *httptest.Server, body string) (int, statusResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr statusResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	return resp.StatusCode, sr
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		_ = json.NewDecoder(resp.Body).Decode(v)
+	}
+	return resp.StatusCode
+}
+
+// TestSubmitPollResult drives the happy path: submit, poll to completion,
+// fetch the report, and confirm a resubmission is answered from the
+// registry while the farm's cache kept the simulation count at one.
+func TestSubmitPollResult(t *testing.T) {
+	eng := farm.New(farm.Options{Workers: 2})
+	defer eng.Close()
+	s := newServer(eng, 8)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	body := `{"workload": "square", "scale": 0.1, "protocol": "cpelide"}`
+	code, sr := post(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", code)
+	}
+	if len(sr.ID) != 64 {
+		t.Fatalf("submit: id %q is not a content hash", sr.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st statusResponse
+		if code := get(t, ts, "/v1/jobs/"+sr.ID, &st); code != http.StatusOK {
+			t.Fatalf("status: got %d, want 200", code)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "error" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var rep struct {
+		Workload string `json:"Workload"`
+		Protocol string `json:"Protocol"`
+		Cycles   uint64 `json:"Cycles"`
+	}
+	if code := get(t, ts, "/v1/jobs/"+sr.ID+"/result", &rep); code != http.StatusOK {
+		t.Fatalf("result: got %d, want 200", code)
+	}
+	if rep.Workload != "square" || rep.Protocol != "CPElide" || rep.Cycles == 0 {
+		t.Fatalf("result: unexpected report %+v", rep)
+	}
+
+	// Identical resubmission: same content-addressed ID, already terminal.
+	code, sr2 := post(t, ts, body)
+	if code != http.StatusOK || sr2.ID != sr.ID || sr2.Status != "done" {
+		t.Fatalf("resubmit: got %d %+v, want 200 done %s", code, sr2, sr.ID)
+	}
+	if c := eng.Counters(); c.Runs != 1 {
+		t.Fatalf("farm ran %d simulations, want 1", c.Runs)
+	}
+
+	if code := get(t, ts, "/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: got %d, want 404", code)
+	}
+	if code := get(t, ts, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: got %d, want 200", code)
+	}
+}
+
+// TestBurstBackpressureAndDrain floods a 1-worker, 1-slot-queue server with
+// distinct jobs: the server must answer every request with 202/429 only
+// (no hangs, no other codes), every accepted job must reach a terminal
+// state, Drain must return, and post-drain submissions must get 503.
+func TestBurstBackpressureAndDrain(t *testing.T) {
+	eng := farm.New(farm.Options{Workers: 1})
+	defer eng.Close()
+	s := newServer(eng, 1)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Occupy the single dispatcher with a full-size run (~hundreds of ms)
+	// so the burst below races against a genuinely busy server.
+	code, first := post(t, ts, `{"workload": "square"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: got %d, want 202", code)
+	}
+
+	const burst = 24
+	codes := make([]int, burst)
+	ids := make([]string, burst)
+	var wg sync.WaitGroup
+	wg.Add(burst)
+	for i := 0; i < burst; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Distinct tiny jobs (iters varies the content hash).
+			body := fmt.Sprintf(`{"workload": "square", "scale": 0.05, "iters": %d}`, i+1)
+			c, sr := post(t, ts, body)
+			codes[i], ids[i] = c, sr.ID
+		}(i)
+	}
+	wg.Wait()
+
+	accepted := []string{first.ID}
+	var rejected int
+	for i, c := range codes {
+		switch c {
+		case http.StatusAccepted:
+			accepted = append(accepted, ids[i])
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("burst request %d: got %d, want 202 or 429", i, c)
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("burst of %d against a 1-slot queue shed no load", burst)
+	}
+	t.Logf("burst: %d accepted, %d rejected", len(accepted), rejected)
+
+	// Drain must complete and leave every accepted job terminal.
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+	for _, id := range accepted {
+		var st statusResponse
+		if code := get(t, ts, "/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status %s: got %d, want 200", id, code)
+		}
+		if st.Status != "done" {
+			t.Fatalf("job %s ended as %q: %s", id, st.Status, st.Error)
+		}
+	}
+
+	if code, _ := post(t, ts, `{"workload": "square", "scale": 0.05, "iters": 99}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: got %d, want 503", code)
+	}
+}
+
+// TestFigureAndStatsEndpoints exercises the synchronous figure endpoint and
+// the stats snapshot.
+func TestFigureAndStatsEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure endpoint runs full experiment matrices")
+	}
+	eng := farm.New(farm.Options{Workers: 2})
+	defer eng.Close()
+	s := newServer(eng, 8)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	var res struct {
+		Title string `json:"Title"`
+		Rows  []struct {
+			Workload string `json:"Workload"`
+		} `json:"Rows"`
+	}
+	if code := get(t, ts, "/v1/figures/fig9?scale=0.1&workloads=square,btree", &res); code != http.StatusOK {
+		t.Fatalf("figure: got %d, want 200", code)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("figure: got %d rows, want 2", len(res.Rows))
+	}
+
+	if code := get(t, ts, "/v1/figures/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown figure: got %d, want 404", code)
+	}
+
+	var st statsResponse
+	if code := get(t, ts, "/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: got %d, want 200", code)
+	}
+	if st.Farm.Runs == 0 || st.Workers != 2 {
+		t.Fatalf("stats: unexpected snapshot %+v", st)
+	}
+
+	// Same figure again: every point is already memoized.
+	before := eng.Counters().Runs
+	if code := get(t, ts, "/v1/figures/fig9?scale=0.1&workloads=square,btree", nil); code != http.StatusOK {
+		t.Fatalf("figure rerun: got %d, want 200", code)
+	}
+	if after := eng.Counters().Runs; after != before {
+		t.Fatalf("figure rerun re-simulated: %d -> %d runs", before, after)
+	}
+}

@@ -1,0 +1,383 @@
+// Command cpelide-server exposes the experiment farm over HTTP/JSON: submit
+// simulation jobs, poll their status, fetch full reports, and regenerate
+// whole paper figures, all backed by the farm's worker pool and
+// content-addressed result cache. Job IDs are the canonical content hash of
+// the request, so resubmitting an identical job returns the same ID and —
+// once it has run anywhere in the process — its cached report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/farm"
+)
+
+// jobRequest is the POST /v1/jobs body. Either workload (single stream
+// across all chiplets) or streams (explicit chiplet bindings) names what to
+// run; everything else tunes the machine and protocol.
+type jobRequest struct {
+	Workload string           `json:"workload,omitempty"`
+	Streams  []farm.StreamJob `json:"streams,omitempty"`
+
+	Chiplets int     `json:"chiplets,omitempty"` // default 4
+	Scale    float64 `json:"scale,omitempty"`
+	Iters    int     `json:"iters,omitempty"`
+
+	Protocol         string `json:"protocol,omitempty"` // baseline | cpelide | hmg | hmg-wb | remotebank
+	NoRangeInfo      bool   `json:"no_range_info,omitempty"`
+	RangeOps         bool   `json:"range_ops,omitempty"`
+	TableEntries     int    `json:"table_entries,omitempty"`
+	DirLinesPerEntry int    `json:"dir_lines_per_entry,omitempty"`
+	DirEntries       int    `json:"dir_entries,omitempty"`
+	DriverManaged    bool   `json:"driver_managed,omitempty"`
+	SyncLatencySets  int    `json:"sync_latency_sets,omitempty"`
+	PerKernelStats   bool   `json:"per_kernel_stats,omitempty"`
+}
+
+func parseProtocol(s string) (cpelide.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "", "baseline", "base":
+		return cpelide.ProtocolBaseline, nil
+	case "cpelide", "elide":
+		return cpelide.ProtocolCPElide, nil
+	case "hmg":
+		return cpelide.ProtocolHMG, nil
+	case "hmg-wb", "hmgwb", "hmg-writeback":
+		return cpelide.ProtocolHMGWriteBack, nil
+	case "remotebank", "remote-bank":
+		return cpelide.ProtocolRemoteBank, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+// job converts the request into a farm job.
+func (r jobRequest) job() (farm.Job, error) {
+	proto, err := parseProtocol(r.Protocol)
+	if err != nil {
+		return farm.Job{}, err
+	}
+	chiplets := r.Chiplets
+	if chiplets == 0 {
+		chiplets = 4
+	}
+	j := farm.Job{
+		Workload: r.Workload,
+		Streams:  r.Streams,
+		Config:   cpelide.DefaultConfig(chiplets),
+	}
+	j.Params.Scale = r.Scale
+	j.Params.Iters = r.Iters
+	j.Options = cpelide.Options{
+		Protocol:            proto,
+		NoRangeInfo:         r.NoRangeInfo,
+		CPElideRangeOps:     r.RangeOps,
+		CPElideTableEntries: r.TableEntries,
+		HMGDirLinesPerEntry: r.DirLinesPerEntry,
+		HMGDirEntries:       r.DirEntries,
+		DriverManaged:       r.DriverManaged,
+		SyncLatencySets:     r.SyncLatencySets,
+		PerKernelStats:      r.PerKernelStats,
+	}
+	return j, nil
+}
+
+// serverJob tracks one accepted submission through the farm.
+type serverJob struct {
+	id  string
+	job farm.Job
+
+	mu     sync.Mutex
+	status string // queued | running | done | error
+	rep    *cpelide.Report
+	errMsg string
+}
+
+func (s *serverJob) set(status string, rep *cpelide.Report, errMsg string) {
+	s.mu.Lock()
+	s.status, s.rep, s.errMsg = status, rep, errMsg
+	s.mu.Unlock()
+}
+
+func (s *serverJob) snapshot() (status string, rep *cpelide.Report, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status, s.rep, s.errMsg
+}
+
+// server owns the farm, a bounded submission queue, and the job registry.
+type server struct {
+	farm     *farm.Farm
+	queueCap int
+
+	mu       sync.Mutex
+	queue    chan *serverJob
+	jobs     map[string]*serverJob
+	draining bool
+
+	wg sync.WaitGroup // dispatcher goroutines
+}
+
+// newServer starts a server whose submission queue holds queueCap pending
+// jobs and whose dispatchers feed the given farm. Call Drain to stop.
+func newServer(f *farm.Farm, queueCap int) *server {
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	s := &server{
+		farm:     f,
+		queueCap: queueCap,
+		queue:    make(chan *serverJob, queueCap),
+		jobs:     make(map[string]*serverJob),
+	}
+	n := f.Workers()
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go s.dispatch()
+	}
+	return s
+}
+
+// dispatch feeds queued jobs into the farm until the queue is closed. The
+// farm's own pool bounds simulation parallelism; one dispatcher per worker
+// keeps it saturated while cache hits return immediately.
+func (s *server) dispatch() {
+	defer s.wg.Done()
+	for sj := range s.queue {
+		sj.set("running", nil, "")
+		rep, err := s.farm.Submit(context.Background(), sj.job)
+		if err != nil {
+			sj.set("error", nil, err.Error())
+			continue
+		}
+		sj.set("done", rep, "")
+	}
+}
+
+// Drain stops accepting submissions, waits for every queued job to finish,
+// and returns. The farm itself is left to the caller to Close.
+func (s *server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// figures maps the figure-endpoint names onto the experiment suite (fig8
+// takes a chiplet count and is handled separately).
+var figures = map[string]func(experiments.Params) (*experiments.Result, error){
+	"fig2":        experiments.Figure2,
+	"fig9":        experiments.Figure9,
+	"fig10":       experiments.Figure10,
+	"table2":      experiments.TableII,
+	"scaling":     experiments.ScalingStudy,
+	"multistream": experiments.MultiStream,
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type statusResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a job (202), reports an already-known job's state
+// (200), sheds load when the queue is full (429), or rejects during
+// shutdown (503).
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := req.job()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := job.Key()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if sj, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		status, _, errMsg := sj.snapshot()
+		writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: status, Error: errMsg})
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sj := &serverJob{id: id, job: job, status: "queued"}
+	select {
+	case s.queue <- sj:
+		s.jobs[id] = sj
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, statusResponse{ID: id, Status: "queued"})
+	default:
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d pending)", s.queueCap)
+	}
+}
+
+func (s *server) lookup(id string) (*serverJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sj, ok := s.jobs[id]
+	return sj, ok
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	status, _, errMsg := sj.snapshot()
+	writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: status, Error: errMsg})
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	status, rep, errMsg := sj.snapshot()
+	switch status {
+	case "done":
+		writeJSON(w, http.StatusOK, rep)
+	case "error":
+		writeErr(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, statusResponse{ID: id, Status: status})
+	}
+}
+
+// handleFigure regenerates one paper figure synchronously through the farm;
+// repeated calls are near-free thanks to the result cache. Query params:
+// scale, iters, workloads (comma-separated), and chiplets (fig8 only).
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	p := experiments.Params{Farm: s.farm}
+	q := r.URL.Query()
+	if v := q.Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad scale %q", v)
+			return
+		}
+		p.Scale = f
+	}
+	if v := q.Get("iters"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad iters %q", v)
+			return
+		}
+		p.Iters = n
+	}
+	if v := q.Get("workloads"); v != "" {
+		p.Workloads = strings.Split(v, ",")
+	}
+
+	if name == "fig8" {
+		n := 4
+		if v := q.Get("chiplets"); v != "" {
+			var err error
+			if n, err = strconv.Atoi(v); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad chiplets %q", v)
+				return
+			}
+		}
+		results, err := experiments.Figure8(p, n)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, results[n])
+		return
+	}
+	fn, ok := figures[name]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown figure %q (have fig2, fig8, fig9, fig10, table2, scaling, multistream)", name)
+		return
+	}
+	res, err := fn(p)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type statsResponse struct {
+	Farm      farm.Counters `json:"farm"`
+	CacheLen  int           `json:"cache_len"`
+	QueueLen  int           `json:"queue_len"`
+	QueueCap  int           `json:"queue_cap"`
+	Workers   int           `json:"workers"`
+	JobsKnown int           `json:"jobs_known"`
+	Draining  bool          `json:"draining"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := statsResponse{
+		Farm:      s.farm.Counters(),
+		CacheLen:  s.farm.CacheLen(),
+		QueueLen:  len(s.queue),
+		QueueCap:  s.queueCap,
+		Workers:   s.farm.Workers(),
+		JobsKnown: len(s.jobs),
+		Draining:  s.draining,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,11 +1,17 @@
 // Command paper-figures regenerates every table and figure of the CPElide
 // paper's evaluation section and prints the series the paper plots.
 //
+// Every simulation point fans out across the experiment farm's worker
+// pool, and points shared between figures (e.g. the 4-chiplet Baseline
+// run) hit the farm's content-addressed cache instead of re-simulating.
+//
 // Usage:
 //
 //	paper-figures                 # everything (minutes)
 //	paper-figures -only fig8 -chiplets 4
 //	paper-figures -scale 0.25     # quick pass at reduced footprints
+//	paper-figures -workers 1      # serial execution (same bytes, slower)
+//	paper-figures -farm-trace farm.json   # Perfetto timeline of the farm
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/farm"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -29,11 +37,21 @@ func main() {
 		chiplets = flag.String("chiplets", "2,4,6,7", "chiplet counts for fig8")
 		loads    = flag.String("workloads", "", "comma-separated benchmark subset")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		workers  = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs, 1 = serial)")
+		farmTr   = flag.String("farm-trace", "", "write a Chrome/Perfetto trace of farm activity to this file")
+		farmSt   = flag.Bool("farm-stats", false, "print farm cache/run counters on exit")
 	)
 	flag.Parse()
 	emitJSON = *asJSON
 
-	p := experiments.Params{Scale: *scale, Iters: *iters}
+	var rec *trace.Recorder
+	if *farmTr != "" {
+		rec = trace.New(1 << 20)
+	}
+	eng := farm.New(farm.Options{Workers: *workers, Trace: rec})
+	defer eng.Close()
+
+	p := experiments.Params{Scale: *scale, Iters: *iters, Farm: eng}
 	if *loads != "" {
 		p.Workloads = strings.Split(*loads, ",")
 	}
@@ -95,6 +113,18 @@ func main() {
 		show(experiments.KernelFusion(p))
 		show(experiments.RemoteBankComparison(p))
 		show(experiments.MGPU(p))
+	}
+
+	if *farmTr != "" {
+		if err := rec.WriteChromeFile(*farmTr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote farm trace to %s", *farmTr)
+	}
+	if *farmSt {
+		c := eng.Counters()
+		fmt.Fprintf(os.Stderr, "farm: jobs=%d runs=%d cache-hits=%d dedup-waits=%d evictions=%d\n",
+			c.Jobs, c.Runs, c.CacheHits, c.DedupWaits, c.Evictions)
 	}
 }
 

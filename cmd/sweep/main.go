@@ -5,19 +5,27 @@
 // baseline, so design-space trends are visible beyond the paper's fixed
 // Table I machine.
 //
+// All (point x protocol) runs are submitted to the experiment farm in one
+// batch, so they execute concurrently across cores and the farm's
+// content-addressed cache collapses duplicate points — e.g. the table and
+// dirlines sweeps vary knobs the Baseline ignores, so every Baseline row
+// is one simulation shared across all points.
+//
 // Usage:
 //
 //	sweep -workload babelstream -param chiplets
 //	sweep -workload sssp -param l2size -scale 0.5
-//	sweep -workload babelstream -param table -protocol cpelide
+//	sweep -workload babelstream -param table -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/internal/farm"
 	"repro/internal/workloads"
 )
 
@@ -31,10 +39,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		workload = flag.String("workload", "babelstream", "benchmark to sweep")
-		param    = flag.String("param", "chiplets", "chiplets | l2size | table | linkbw | dirlines")
-		scale    = flag.Float64("scale", 1.0, "workload footprint scale")
-		iters    = flag.Int("iters", 0, "iteration override")
+		workload  = flag.String("workload", "babelstream", "benchmark to sweep")
+		param     = flag.String("param", "chiplets", "chiplets | l2size | table | linkbw | dirlines")
+		scale     = flag.Float64("scale", 1.0, "workload footprint scale")
+		iters     = flag.Int("iters", 0, "iteration override")
+		workers   = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs)")
+		showStats = flag.Bool("stats", false, "print farm cache/run counters after the sweep")
 	)
 	flag.Parse()
 
@@ -43,33 +53,41 @@ func main() {
 		log.Fatal(err)
 	}
 
+	protocols := []cpelide.Protocol{
+		cpelide.ProtocolBaseline, cpelide.ProtocolCPElide, cpelide.ProtocolHMG,
+	}
+	wp := workloads.Params{Scale: *scale, Iters: *iters}
+	jobs := make([]farm.Job, 0, len(points)*len(protocols))
+	for _, pt := range points {
+		for _, proto := range protocols {
+			opt := pt.opt
+			opt.Protocol = proto
+			jobs = append(jobs, farm.Job{Workload: *workload, Params: wp, Config: pt.cfg, Options: opt})
+		}
+	}
+
+	eng := farm.New(farm.Options{Workers: *workers})
+	defer eng.Close()
+	reps, err := eng.Do(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("sweep %s over %s\n", *workload, *param)
 	fmt.Printf("%-18s %14s %14s %12s %12s\n",
 		"point", "base-cycles", "cpelide", "speedup", "hmg-speedup")
-	wp := workloads.Params{Scale: *scale, Iters: *iters}
-	for _, pt := range points {
-		run := func(p cpelide.Protocol) *cpelide.Report {
-			alloc := cpelide.NewAllocator(pt.cfg.PageSize)
-			w, err := workloads.Build(*workload, alloc, wp)
-			if err != nil {
-				log.Fatal(err)
-			}
-			opt := pt.opt
-			opt.Protocol = p
-			rep, err := cpelide.Run(pt.cfg, w, opt)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if rep.StaleReads != 0 {
-				log.Fatalf("%s/%v: %d stale reads", pt.label, p, rep.StaleReads)
-			}
-			return rep
+	for i, pt := range points {
+		base, elide, hmg := reps[3*i], reps[3*i+1], reps[3*i+2]
+		if n := base.StaleReads + elide.StaleReads + hmg.StaleReads; n != 0 {
+			log.Fatalf("%s: %d stale reads", pt.label, n)
 		}
-		base := run(cpelide.ProtocolBaseline)
-		elide := run(cpelide.ProtocolCPElide)
-		hmg := run(cpelide.ProtocolHMG)
 		fmt.Printf("%-18s %14d %14d %11.3fx %11.3fx\n",
 			pt.label, base.Cycles, elide.Cycles, elide.Speedup(base), hmg.Speedup(base))
+	}
+	if *showStats {
+		c := eng.Counters()
+		fmt.Printf("farm: jobs=%d runs=%d cache-hits=%d dedup-waits=%d\n",
+			c.Jobs, c.Runs, c.CacheHits, c.DedupWaits)
 	}
 }
 

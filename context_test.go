@@ -1,0 +1,76 @@
+// Tests for the context-aware run façade: cancellation stops a simulation
+// at the next kernel boundary, and a background context behaves exactly
+// like the context-free entry points.
+package cpelide_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+func buildFor(t *testing.T, cfg cpelide.Config, name string, p workloads.Params) *cpelide.Workload {
+	t.Helper()
+	alloc := cpelide.NewAllocator(cfg.PageSize)
+	w, err := workloads.Build(name, alloc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	cfg := cpelide.DefaultConfig(4)
+	w := buildFor(t, cfg, "square", workloads.Params{Scale: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := cpelide.RunContext(ctx, cfg, w, cpelide.Options{})
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := cpelide.DefaultConfig(4)
+	p := workloads.Params{Scale: 0.1}
+	a, err := cpelide.Run(cfg, buildFor(t, cfg, "square", p), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cpelide.RunContext(context.Background(), cfg,
+		buildFor(t, cfg, "square", p), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("RunContext(Background) report differs from Run")
+	}
+}
+
+func TestRunStreamsContextCanceled(t *testing.T) {
+	cfg := cpelide.DefaultConfig(4)
+	alloc := cpelide.NewAllocator(cfg.PageSize)
+	w1, err := workloads.Build("square", alloc, workloads.Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := workloads.Build("btree", alloc, workloads.Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = cpelide.RunStreamsContext(ctx, cfg, []cpelide.StreamSpec{
+		{Workload: w1, Chiplets: []int{0, 1}},
+		{Workload: w2, Chiplets: []int{2, 3}},
+	}, cpelide.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -28,6 +28,7 @@
 package cpelide
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -329,13 +330,28 @@ func (r *Report) Speedup(base *Report) float64 {
 // runs as a single stream across all chiplets, like the paper's
 // single-stream evaluation.
 func Run(cfg Config, w *Workload, opt Options) (*Report, error) {
-	return RunStreams(cfg, []StreamSpec{{Workload: w}}, opt)
+	return RunContext(context.Background(), cfg, w, opt)
+}
+
+// RunContext is Run with cancellation: the command processor polls ctx at
+// every kernel boundary and abandons the simulation once it is canceled
+// (the in-flight kernel completes first — the simulated GPU has no
+// preemption). A canceled run returns a nil Report and an error wrapping
+// ctx's error.
+func RunContext(ctx context.Context, cfg Config, w *Workload, opt Options) (*Report, error) {
+	return RunStreamsContext(ctx, cfg, []StreamSpec{{Workload: w}}, opt)
 }
 
 // RunStreams executes multiple concurrent streams (Section VI's
 // multi-stream study). Each stream's workload must use disjoint
 // allocations.
 func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
+	return RunStreamsContext(context.Background(), cfg, specs, opt)
+}
+
+// RunStreamsContext is RunStreams with kernel-boundary cancellation; see
+// RunContext.
+func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -394,11 +410,16 @@ func RunStreams(cfg Config, specs []StreamSpec, opt Options) (*Report, error) {
 		Placement:        opt.Placement,
 		InferAnnotations: opt.InferAnnotations,
 		PerKernel:        opt.PerKernelStats,
+		Ctx:              ctx,
 	})
 	if err != nil {
 		return nil, err
 	}
 	cycles := runner.Run()
+	if runner.Canceled() {
+		return nil, fmt.Errorf("cpelide: run canceled after %d dynamic kernels: %w",
+			len(runner.Records), ctx.Err())
+	}
 
 	rep := &Report{
 		Workload:   names,

@@ -8,6 +8,7 @@
 package cp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -74,6 +75,12 @@ type RunnerConfig struct {
 	// attaches the delta to each Record (plus the Runner's FinalDelta for
 	// end-of-program activity).
 	PerKernel bool
+	// Ctx, when non-nil, is polled at every kernel boundary: once it is
+	// canceled the runner stops dispatching, drains the event calendar, and
+	// Canceled reports true. Kernels already dispatched complete (the
+	// simulated GPU has no preemption), so cancellation latency is one
+	// kernel span.
+	Ctx context.Context
 }
 
 // Runner owns the global CP's dispatch loop over the event engine.
@@ -89,6 +96,8 @@ type Runner struct {
 	// FinalDelta is the counter activity after the last kernel (end-of-
 	// program releases, total-cycle accounting) when Cfg.PerKernel is set.
 	FinalDelta *stats.Sheet
+
+	canceled bool
 }
 
 type streamState struct {
@@ -253,12 +262,39 @@ func (r *Runner) Run() uint64 {
 	return total
 }
 
+// Canceled reports whether the run was stopped early because Cfg.Ctx was
+// canceled before every kernel had dispatched.
+func (r *Runner) Canceled() bool { return r.canceled }
+
+// ctxDone polls Cfg.Ctx without blocking.
+func (r *Runner) ctxDone() bool {
+	if r.Cfg.Ctx == nil {
+		return false
+	}
+	select {
+	case <-r.Cfg.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // dispatch issues every stream whose head kernel is ready at the current
 // time, then relies on completion events to re-trigger.
 func (r *Runner) dispatch(event.Event) {
 	now := r.Eng.Now()
+	if r.ctxDone() {
+		r.canceled = true
+		r.Eng.Stop()
+		return
+	}
 	for _, ss := range r.streams {
 		for ss.next < len(ss.launches) && r.ready(ss, now) {
+			if r.ctxDone() {
+				r.canceled = true
+				r.Eng.Stop()
+				return
+			}
 			l := ss.launches[ss.next]
 			exposeCP := !ss.started
 			ss.started = true

@@ -18,19 +18,18 @@ func HMGWriteBack(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "wt", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG}},
+		{key: "wb", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMGWriteBack}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		wt, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
-		wb, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMGWriteBack})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"WB-vs-WT": wb.Speedup(wt)},
+			Values:   map[string]float64{"WB-vs-WT": m[name]["wb"].Speedup(m[name]["wt"])},
 		})
 	}
 	summarize(res, "WB-vs-WT")
@@ -47,21 +46,18 @@ func RangeOps(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "def", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "rng", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, CPElideRangeOps: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		def, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		rng, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, CPElideRangeOps: true,
-		})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"range-ops": rng.Speedup(def)},
+			Values:   map[string]float64{"range-ops": m[name]["rng"].Speedup(m[name]["def"])},
 		})
 	}
 	summarize(res, "range-ops")
@@ -77,21 +73,18 @@ func AnnotationGranularity(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "full", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "mode", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, NoRangeInfo: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		full, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		modeOnly, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, NoRangeInfo: true,
-		})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"mode-only": modeOnly.Speedup(full)},
+			Values:   map[string]float64{"mode-only": m[name]["mode"].Speedup(m[name]["full"])},
 		})
 	}
 	summarize(res, "mode-only")
@@ -106,31 +99,31 @@ func TableSize(p Params, entries ...int) (*Result, error) {
 		entries = []int{4, 8, 16, 64}
 	}
 	series := make([]string, len(entries))
+	vars := []variant{{key: "ref", cfg: cpelide.DefaultConfig(4), opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}}}
 	for i, e := range entries {
 		series[i] = fmt.Sprintf("entries=%d", e)
+		vars = append(vars, variant{
+			key: series[i],
+			cfg: cpelide.DefaultConfig(4),
+			opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, CPElideTableEntries: e},
+		})
 	}
 	res := &Result{
 		Title:   "Ablation: Chiplet Coherence Table capacity (speedup vs 64 entries)",
 		Series:  append(series, "peak-use"),
 		Summary: map[string]float64{},
 	}
-	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, vars)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		ref, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
+		ref := m[name]["ref"]
 		row := Row{Workload: name, Class: classOf(name), Values: map[string]float64{
 			"peak-use": float64(ref.Sheet.Get(stats.TablePeakUse)),
 		}}
-		for i, e := range entries {
-			r, err := runOne(name, cfg, p.wp(), cpelide.Options{
-				Protocol: cpelide.ProtocolCPElide, CPElideTableEntries: e,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row.Values[series[i]] = r.Speedup(ref)
+		for _, s := range series {
+			row.Values[s] = m[name][s].Speedup(ref)
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -148,17 +141,15 @@ func DirGranularity(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "four", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG}},
+		{key: "one", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG, HMGDirLinesPerEntry: 1}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		four, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
-		one, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolHMG, HMGDirLinesPerEntry: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
+		four, one := m[name]["four"], m[name]["one"]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),

@@ -7,6 +7,10 @@
 //
 // The package lives below the public facade so both the paper-figures
 // command and the benchmark suite can drive identical experiment code.
+// Every experiment fans its simulation points out across an internal/farm
+// worker pool (see farm.go in this package), so regeneration parallelizes
+// across cores and repeated points are served from the farm's
+// content-addressed cache.
 package experiments
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/farm"
 	"repro/internal/kernels"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -29,6 +34,9 @@ type Params struct {
 	Iters int
 	// Workloads restricts the benchmark set (nil = all 24).
 	Workloads []string
+	// Farm selects the execution engine (nil uses the process-wide shared
+	// farm with one worker per CPU).
+	Farm *farm.Farm
 }
 
 func (p Params) names() []string {
@@ -40,24 +48,6 @@ func (p Params) names() []string {
 
 func (p Params) wp() workloads.Params {
 	return workloads.Params{Scale: p.Scale, Iters: p.Iters}
-}
-
-// runOne builds and runs a single benchmark under the given configuration.
-func runOne(name string, cfg cpelide.Config, wp workloads.Params, opt cpelide.Options) (*cpelide.Report, error) {
-	alloc := cpelide.NewAllocator(cfg.PageSize)
-	w, err := workloads.Build(name, alloc, wp)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := cpelide.Run(cfg, w, opt)
-	if err != nil {
-		return nil, err
-	}
-	if rep.StaleReads != 0 {
-		return nil, fmt.Errorf("experiments: %s/%s: %d stale reads (coherence violation)",
-			name, rep.Protocol, rep.StaleReads)
-	}
-	return rep, nil
 }
 
 // Row is one benchmark's values in an experiment, keyed by series name.
@@ -161,21 +151,19 @@ func Figure2(p Params) (*Result, error) {
 		Series:  []string{"slowdown"},
 		Summary: map[string]float64{},
 	}
-	mono := cpelide.MonolithicConfig(4)
-	chip := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "mono", cfg: cpelide.MonolithicConfig(4), opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "chip", cfg: cpelide.DefaultConfig(4), opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		m, err := runOne(name, mono, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		c, err := runOne(name, chip, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
+		r := m[name]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"slowdown": float64(c.Cycles) / float64(m.Cycles)},
+			Values:   map[string]float64{"slowdown": float64(r["chip"].Cycles) / float64(r["mono"].Cycles)},
 		})
 	}
 	summarize(res, "slowdown")
@@ -195,26 +183,18 @@ func Figure8(p Params, chiplets ...int) (map[int]*Result, error) {
 			Series:  []string{"CPElide", "HMG"},
 			Summary: map[string]float64{},
 		}
-		cfg := cpelide.DefaultConfig(n)
+		m, err := runMatrix(p, protocolVariants(cpelide.DefaultConfig(n)))
+		if err != nil {
+			return nil, err
+		}
 		for _, name := range p.names() {
-			base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-			if err != nil {
-				return nil, err
-			}
-			elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-			if err != nil {
-				return nil, err
-			}
-			hmg, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-			if err != nil {
-				return nil, err
-			}
+			r := m[name]
 			res.Rows = append(res.Rows, Row{
 				Workload: name,
 				Class:    classOf(name),
 				Values: map[string]float64{
-					"CPElide": elide.Speedup(base),
-					"HMG":     hmg.Speedup(base),
+					"CPElide": r["elide"].Speedup(r["base"]),
+					"HMG":     r["hmg"].Speedup(r["base"]),
 				},
 			})
 		}
@@ -222,6 +202,16 @@ func Figure8(p Params, chiplets ...int) (map[int]*Result, error) {
 		out[n] = res
 	}
 	return out, nil
+}
+
+// protocolVariants is the Baseline/CPElide/HMG column set most figures
+// compare on one machine configuration.
+func protocolVariants(cfg cpelide.Config) []variant {
+	return []variant{
+		{key: "base", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "elide", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "hmg", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG}},
+	}
 }
 
 // Figure9 reproduces the 4-chiplet memory-subsystem energy figure: each
@@ -237,20 +227,12 @@ func Figure9(p Params) (*Result, error) {
 		},
 		Summary: map[string]float64{},
 	}
-	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, protocolVariants(cpelide.DefaultConfig(4)))
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		hmg, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
+		base, elide, hmg := m[name]["base"], m[name]["elide"], m[name]["hmg"]
 		bt := base.Energy.Total()
 		row := Row{Workload: name, Class: classOf(name), Values: map[string]float64{
 			"CPElide": elide.Energy.Total() / bt,
@@ -289,20 +271,12 @@ func Figure10(p Params) (*Result, error) {
 		},
 		Summary: map[string]float64{},
 	}
-	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, protocolVariants(cpelide.DefaultConfig(4)))
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		hmg, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
+		base, elide, hmg := m[name]["base"], m[name]["elide"], m[name]["hmg"]
 		bt := float64(base.TotalFlits())
 		c1, c2, c3 := elide.Flits()
 		h1, h2, h3 := hmg.Flits()
@@ -335,17 +309,16 @@ func TableII(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "base", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "elide", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		mb := missRate(base)
-		me := missRate(elide)
+		mb := missRate(m[name]["base"])
+		me := missRate(m[name]["elide"])
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
@@ -377,29 +350,22 @@ func ScalingStudy(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "ref", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "s8", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, SyncLatencySets: 2}},
+		{key: "s16", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, SyncLatencySets: 4}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		ref, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		s8, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, SyncLatencySets: 2,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s16, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, SyncLatencySets: 4,
-		})
-		if err != nil {
-			return nil, err
-		}
+		r := m[name]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
-				"8-chiplet-mimic":  float64(s8.Cycles) / float64(ref.Cycles),
-				"16-chiplet-mimic": float64(s16.Cycles) / float64(ref.Cycles),
+				"8-chiplet-mimic":  float64(r["s8"].Cycles) / float64(r["ref"].Cycles),
+				"16-chiplet-mimic": float64(r["s16"].Cycles) / float64(r["ref"].Cycles),
 			},
 		})
 	}
@@ -418,48 +384,28 @@ func MultiStream(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
-	run := func(name string, opt cpelide.Options) (*cpelide.Report, error) {
-		alloc := cpelide.NewAllocator(cfg.PageSize)
-		w0, err := workloads.Build(name, alloc, p.wp())
-		if err != nil {
-			return nil, err
+	twoStreams := func(name string) []farm.StreamJob {
+		return []farm.StreamJob{
+			{Workload: name, Chiplets: []int{0, 1}},
+			{Workload: name, Chiplets: []int{2, 3}, Rename: "#2"},
 		}
-		w1, err := workloads.Build(name, alloc, p.wp())
-		if err != nil {
-			return nil, err
-		}
-		w1.Name += "#2"
-		rep, err := cpelide.RunStreams(cfg, []cpelide.StreamSpec{
-			{Workload: w0, Chiplets: []int{0, 1}},
-			{Workload: w1, Chiplets: []int{2, 3}},
-		}, opt)
-		if err != nil {
-			return nil, err
-		}
-		if rep.StaleReads != 0 {
-			return nil, fmt.Errorf("multistream %s/%s: %d stale reads", name, rep.Protocol, rep.StaleReads)
-		}
-		return rep, nil
+	}
+	m, err := runMatrix(p, []variant{
+		{key: "base", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}, streams: twoStreams},
+		{key: "elide", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}, streams: twoStreams},
+		{key: "hmg", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG}, streams: twoStreams},
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, name := range p.names() {
-		base, err := run(name, cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := run(name, cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		hmg, err := run(name, cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
+		r := m[name]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
-				"CPElide": elide.Speedup(base),
-				"HMG":     hmg.Speedup(base),
+				"CPElide": r["elide"].Speedup(r["base"]),
+				"HMG":     r["hmg"].Speedup(r["base"]),
 			},
 		})
 	}

@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"repro"
-	"repro/internal/kernels"
-	"repro/internal/workloads"
 )
 
 // Extension studies for the alternatives Section VI discusses qualitatively:
@@ -22,21 +20,18 @@ func DriverManaged(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "cp", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "drv", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, DriverManaged: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		cpRes, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		drv, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, DriverManaged: true,
-		})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"driver": drv.Speedup(cpRes)},
+			Values:   map[string]float64{"driver": m[name]["drv"].Speedup(m[name]["cp"])},
 		})
 	}
 	summarize(res, "driver")
@@ -54,29 +49,22 @@ func PagePlacement(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "ft", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "il", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementInterleaved}},
+		{key: "sg", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementSingle}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		ft, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		il, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementInterleaved,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sg, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, Placement: cpelide.PlacementSingle,
-		})
-		if err != nil {
-			return nil, err
-		}
+		ft := m[name]["ft"]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
-				"interleaved": il.Speedup(ft),
-				"single":      sg.Speedup(ft),
+				"interleaved": m[name]["il"].Speedup(ft),
+				"single":      m[name]["sg"].Speedup(ft),
 			},
 		})
 	}
@@ -95,21 +83,18 @@ func InferredAnnotations(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "static", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "inf", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, InferAnnotations: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		static, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		inf, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, InferAnnotations: true,
-		})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"inferred": inf.Speedup(static)},
+			Values:   map[string]float64{"inferred": m[name]["inf"].Speedup(m[name]["static"])},
 		})
 	}
 	summarize(res, "inferred")
@@ -125,21 +110,18 @@ func Scheduling(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "rr", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "ch", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide, Scheduler: cpelide.ChunkedCU}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		rr, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		ch, err := runOne(name, cfg, p.wp(), cpelide.Options{
-			Protocol: cpelide.ProtocolCPElide, Scheduler: cpelide.ChunkedCU,
-		})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
-			Values:   map[string]float64{"chunked": ch.Speedup(rr)},
+			Values:   map[string]float64{"chunked": m[name]["ch"].Speedup(m[name]["rr"])},
 		})
 	}
 	summarize(res, "chunked")
@@ -157,35 +139,24 @@ func KernelFusion(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "base", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "elide", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "fused", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline},
+			fusion: &farmFusionDefault},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		alloc := cpelide.NewAllocator(cfg.PageSize)
-		w, err := workloads.Build(name, alloc, p.wp())
-		if err != nil {
-			return nil, err
-		}
-		base, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		fusedW := kernels.FuseAdjacent(w, kernels.FusionConfig{})
-		fused, err := cpelide.Run(cfg, fusedW, cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		if base.StaleReads+elide.StaleReads+fused.StaleReads != 0 {
-			return nil, errStale(name)
-		}
+		base, elide, fused := m[name]["base"], m[name]["elide"], m[name]["fused"]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
 				"Base+fusion":   fused.Speedup(base),
 				"CPElide":       elide.Speedup(base),
-				"fused-kernels": float64(len(w.Sequence) - len(fusedW.Sequence)),
+				"fused-kernels": float64(base.Kernels - fused.Kernels),
 			},
 		})
 	}
@@ -206,25 +177,22 @@ func RemoteBankComparison(p Params) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	cfg := cpelide.DefaultConfig(4)
+	m, err := runMatrix(p, []variant{
+		{key: "base", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "rb", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolRemoteBank}},
+		{key: "elide", cfg: cfg, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		base, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		rb, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolRemoteBank})
-		if err != nil {
-			return nil, err
-		}
-		elide, err := runOne(name, cfg, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
+		base := m[name]["base"]
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
-				"RemoteBank": rb.Speedup(base),
-				"CPElide":    elide.Speedup(base),
+				"RemoteBank": m[name]["rb"].Speedup(base),
+				"CPElide":    m[name]["elide"].Speedup(base),
 			},
 		})
 	}
@@ -244,43 +212,27 @@ func MGPU(p Params) (*Result, error) {
 	}
 	single := cpelide.DefaultConfig(8)
 	dual := cpelide.MGPUConfig(2, 4)
+	m, err := runMatrix(p, []variant{
+		{key: "b1", cfg: single, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "e1", cfg: single, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "b2", cfg: dual, opt: cpelide.Options{Protocol: cpelide.ProtocolBaseline}},
+		{key: "e2", cfg: dual, opt: cpelide.Options{Protocol: cpelide.ProtocolCPElide}},
+		{key: "h2", cfg: dual, opt: cpelide.Options{Protocol: cpelide.ProtocolHMG}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range p.names() {
-		b1, err := runOne(name, single, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		e1, err := runOne(name, single, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		b2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolBaseline})
-		if err != nil {
-			return nil, err
-		}
-		e2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolCPElide})
-		if err != nil {
-			return nil, err
-		}
-		h2, err := runOne(name, dual, p.wp(), cpelide.Options{Protocol: cpelide.ProtocolHMG})
-		if err != nil {
-			return nil, err
-		}
 		res.Rows = append(res.Rows, Row{
 			Workload: name,
 			Class:    classOf(name),
 			Values: map[string]float64{
-				"1gpu-CPElide": e1.Speedup(b1),
-				"2gpu-CPElide": e2.Speedup(b2),
-				"2gpu-HMG":     h2.Speedup(b2),
+				"1gpu-CPElide": m[name]["e1"].Speedup(m[name]["b1"]),
+				"2gpu-CPElide": m[name]["e2"].Speedup(m[name]["b2"]),
+				"2gpu-HMG":     m[name]["h2"].Speedup(m[name]["b2"]),
 			},
 		})
 	}
 	summarize(res, "1gpu-CPElide", "2gpu-CPElide", "2gpu-HMG")
 	return res, nil
 }
-
-type staleErr string
-
-func (e staleErr) Error() string { return "experiments: stale reads in " + string(e) }
-
-func errStale(name string) error { return staleErr(name) }

@@ -1,0 +1,390 @@
+// Package farm is the experiment-execution engine: a bounded worker pool
+// that runs cpelide simulations concurrently, fronted by a content-
+// addressed result cache with single-flight deduplication.
+//
+// Every cpelide.Run is deterministic and independent, so a (workload,
+// params, config, options) tuple fully determines its Report. The farm
+// exploits that twice: identical jobs submitted concurrently compute once
+// (single flight), and completed results are memoized in an LRU keyed by
+// the canonical job hash (Job.Key), so regenerating a figure suite — or
+// serving it over HTTP — never repeats a simulation. A Report is
+// byte-identical whether it was computed serially, by N workers, or served
+// from the cache; cached Reports are shared and must be treated as
+// read-only.
+//
+// The pool is bounded (default runtime.NumCPU() workers), submission is
+// context-aware (a canceled submitter stops waiting, and a canceled
+// leader's simulation halts at the next kernel boundary via
+// cpelide.RunStreamsContext), and worker panics are isolated into errors.
+// Hit/miss/run counters are kept internally, optionally mirrored into a
+// stats.Sheet, and each job's queued -> running -> done lifetime can be
+// emitted into a trace.Recorder for Perfetto.
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// DefaultCacheEntries bounds the result cache when Options.CacheEntries is
+// zero. Reports are small (a counter sheet plus histograms), so a few
+// thousand fit comfortably in memory.
+const DefaultCacheEntries = 4096
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("farm: closed")
+
+// Options configures a Farm.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 uses runtime.NumCPU().
+	Workers int
+	// CacheEntries bounds the result cache: 0 uses DefaultCacheEntries,
+	// negative disables caching (single-flight dedup still applies).
+	CacheEntries int
+	// Stats, when non-nil, receives the farm counters (stats.Farm*) as
+	// absolute levels after every state change.
+	Stats *stats.Sheet
+	// Trace, when non-nil, records one span per job (queued -> running ->
+	// done/cached/error) in wall-clock microseconds since the farm started.
+	Trace *trace.Recorder
+}
+
+// Counters is a snapshot of the farm's activity tallies.
+type Counters struct {
+	// Jobs counts Submit calls (including cache hits and dedup waits).
+	Jobs uint64 `json:"jobs"`
+	// CacheHits counts submissions served from the result cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts submissions that became flight leaders.
+	CacheMisses uint64 `json:"cache_misses"`
+	// DedupWaits counts submissions that piggybacked on an identical
+	// in-flight job instead of computing.
+	DedupWaits uint64 `json:"dedup_waits"`
+	// Runs counts simulations that actually executed to completion.
+	Runs uint64 `json:"runs"`
+	// Errors counts failed executions (including canceled ones).
+	Errors uint64 `json:"errors"`
+	// Panics counts worker panics (a subset of Errors).
+	Panics uint64 `json:"panics"`
+	// Evictions counts cache entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+}
+
+// Farm runs jobs on a bounded worker pool behind a content-addressed cache.
+type Farm struct {
+	workers int
+	tasks   chan *task
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*flight
+	c        Counters
+	closed   bool
+
+	sheet *stats.Sheet
+	rec   *trace.Recorder
+	epoch time.Time
+}
+
+// flight is one in-progress computation; every submitter of the same key
+// waits on done.
+type flight struct {
+	key      string
+	job      Job
+	queuedUS uint64
+	done     chan struct{}
+	rep      *cpelide.Report
+	err      error
+	resolved bool
+}
+
+type task struct {
+	ctx context.Context
+	fl  *flight
+}
+
+// execHook replaces job execution in tests (package-internal).
+var execHook func(context.Context, Job) (*cpelide.Report, error)
+
+// New starts a farm with o.Workers worker goroutines. Call Close when done.
+func New(o Options) *Farm {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	entries := o.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	f := &Farm{
+		workers:  w,
+		tasks:    make(chan *task),
+		quit:     make(chan struct{}),
+		cache:    newLRU(entries),
+		inflight: make(map[string]*flight),
+		sheet:    o.Stats,
+		rec:      o.Trace,
+		epoch:    time.Now(),
+	}
+	f.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go f.worker(i)
+	}
+	return f
+}
+
+// Workers returns the pool's concurrency bound.
+func (f *Farm) Workers() int { return f.workers }
+
+// Close stops the workers after any running jobs finish. Submissions that
+// have not reached a worker resolve with ErrClosed. Close is idempotent.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.quit)
+	f.wg.Wait()
+}
+
+// Counters returns a snapshot of the activity tallies.
+func (f *Farm) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.c
+}
+
+// CacheLen returns the number of memoized results.
+func (f *Farm) CacheLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cache.len()
+}
+
+// Submit executes job (or returns its memoized Report) and blocks until
+// the result is available, an identical in-flight job completes, or ctx is
+// canceled. The returned Report may be shared with other submitters and
+// must be treated as read-only.
+func (f *Farm) Submit(ctx context.Context, job Job) (*cpelide.Report, error) {
+	key, err := job.Key()
+	if err != nil {
+		return nil, err
+	}
+
+	f.mu.Lock()
+	f.c.Jobs++
+	if rep, ok := f.cache.get(key); ok {
+		f.c.CacheHits++
+		f.mirrorLocked()
+		now := f.sinceUS()
+		f.mu.Unlock()
+		f.traceJob(-1, job.Name()+" [cached]", now, now, now)
+		return rep, nil
+	}
+	if fl, ok := f.inflight[key]; ok {
+		f.c.DedupWaits++
+		f.mirrorLocked()
+		f.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.rep, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	f.c.CacheMisses++
+	fl := &flight{key: key, job: job, queuedUS: f.sinceUS(), done: make(chan struct{})}
+	f.inflight[key] = fl
+	f.mirrorLocked()
+	f.mu.Unlock()
+
+	t := &task{ctx: ctx, fl: fl}
+	select {
+	case f.tasks <- t:
+	case <-ctx.Done():
+		f.finish(fl, nil, ctx.Err(), false)
+		f.traceJob(-1, job.Name()+" [canceled]", fl.queuedUS, f.sinceUS(), f.sinceUS())
+	case <-f.quit:
+		f.finish(fl, nil, ErrClosed, false)
+	}
+	<-fl.done
+	return fl.rep, fl.err
+}
+
+// Do submits every job concurrently (the pool still bounds parallelism)
+// and returns the reports in job order. The first error cancels the rest.
+func (f *Farm) Do(ctx context.Context, jobs []Job) ([]*cpelide.Report, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	reps := make([]*cpelide.Report, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		go func(i int) {
+			defer wg.Done()
+			rep, err := f.Submit(ctx, jobs[i])
+			reps[i], errs[i] = rep, err
+			if err != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reps, nil
+}
+
+func (f *Farm) worker(id int) {
+	defer f.wg.Done()
+	for {
+		select {
+		case t := <-f.tasks:
+			f.run(id, t)
+		case <-f.quit:
+			return
+		}
+	}
+}
+
+// run executes one task on worker id with panic isolation.
+func (f *Farm) run(id int, t *task) {
+	startUS := f.sinceUS()
+	if err := t.ctx.Err(); err != nil {
+		f.finish(t.fl, nil, err, false)
+		f.traceJob(id, t.fl.job.Name()+" [canceled]", t.fl.queuedUS, startUS, f.sinceUS())
+		return
+	}
+	rep, err := f.execute(t.ctx, t.fl.job)
+	state := "done"
+	if err != nil {
+		state = "error"
+	}
+	f.finish(t.fl, rep, err, err == nil)
+	f.traceJob(id, t.fl.job.Name()+" ["+state+"]", t.fl.queuedUS, startUS, f.sinceUS())
+}
+
+// execute builds the job's workload(s) and runs the simulation, converting
+// panics into errors so one bad job cannot take down the pool.
+func (f *Farm) execute(ctx context.Context, j Job) (rep *cpelide.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("farm: job %s panicked: %v", j.Name(), p)
+			f.mu.Lock()
+			f.c.Panics++
+			f.mu.Unlock()
+		}
+	}()
+	if execHook != nil {
+		return execHook(ctx, j)
+	}
+	ss, err := j.streams()
+	if err != nil {
+		return nil, err
+	}
+	opt := j.Options
+	opt.Trace = nil // see Job.Options: per-run tracing cannot cross the cache
+	alloc := cpelide.NewAllocator(j.Config.PageSize)
+	specs := make([]cpelide.StreamSpec, 0, len(ss))
+	for _, s := range ss {
+		w, err := workloads.Build(s.Workload, alloc, j.Params)
+		if err != nil {
+			return nil, err
+		}
+		if s.Rename != "" {
+			w.Name += s.Rename
+		}
+		if j.Fusion != nil {
+			w = kernels.FuseAdjacent(w, kernels.FusionConfig{
+				MaxArgs:     j.Fusion.MaxArgs,
+				MaxLDSBytes: j.Fusion.MaxLDSBytes,
+			})
+		}
+		specs = append(specs, cpelide.StreamSpec{Workload: w, Chiplets: s.Chiplets})
+	}
+	return cpelide.RunStreamsContext(ctx, j.Config, specs, opt)
+}
+
+// finish resolves a flight exactly once: memoize a successful result,
+// update the counters, and release every waiter.
+func (f *Farm) finish(fl *flight, rep *cpelide.Report, err error, cacheIt bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fl.resolved {
+		return
+	}
+	fl.resolved = true
+	fl.rep, fl.err = rep, err
+	if err == nil {
+		f.c.Runs++
+		if cacheIt && f.cache.add(fl.key, rep) {
+			f.c.Evictions++
+		}
+	} else {
+		f.c.Errors++
+	}
+	if f.inflight[fl.key] == fl {
+		delete(f.inflight, fl.key)
+	}
+	f.mirrorLocked()
+	close(fl.done)
+}
+
+// mirrorLocked copies the counters into the optional stats sheet as
+// absolute levels (the Farm* counters carry max semantics). Caller holds mu.
+func (f *Farm) mirrorLocked() {
+	if f.sheet == nil {
+		return
+	}
+	f.sheet.Set(stats.FarmJobs, f.c.Jobs)
+	f.sheet.Set(stats.FarmCacheHits, f.c.CacheHits)
+	f.sheet.Set(stats.FarmCacheMisses, f.c.CacheMisses)
+	f.sheet.Set(stats.FarmDedupWaits, f.c.DedupWaits)
+	f.sheet.Set(stats.FarmRuns, f.c.Runs)
+	f.sheet.Set(stats.FarmErrors, f.c.Errors)
+	f.sheet.Set(stats.FarmPanics, f.c.Panics)
+	f.sheet.Set(stats.FarmEvictions, f.c.Evictions)
+}
+
+// sinceUS returns wall-clock microseconds since the farm started.
+func (f *Farm) sinceUS() uint64 {
+	return uint64(time.Since(f.epoch).Microseconds())
+}
+
+// traceJob serializes span emission; the Recorder itself is single-threaded.
+func (f *Farm) traceJob(worker int, name string, queued, start, end uint64) {
+	if f.rec == nil {
+		return
+	}
+	f.mu.Lock()
+	f.rec.Job(worker, name, queued, start, end)
+	f.mu.Unlock()
+}

@@ -1,0 +1,356 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// matrix is the ISSUE's equality fixture: >= 3 workloads x 3 protocols.
+func matrix() []Job {
+	var jobs []Job
+	for _, name := range []string{"square", "pathfinder", "btree"} {
+		for _, proto := range []cpelide.Protocol{
+			cpelide.ProtocolBaseline, cpelide.ProtocolCPElide, cpelide.ProtocolHMG,
+		} {
+			jobs = append(jobs, Job{
+				Workload: name,
+				Params:   workloads.Params{Scale: 0.1},
+				Config:   cpelide.DefaultConfig(4),
+				Options:  cpelide.Options{Protocol: proto},
+			})
+		}
+	}
+	return jobs
+}
+
+func marshal(t *testing.T, rep *cpelide.Report) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelMatchesSerialMatchesCached is the determinism contract: the
+// same job matrix run on one worker, on many workers, and from the cache
+// yields byte-identical reports.
+func TestParallelMatchesSerialMatchesCached(t *testing.T) {
+	jobs := matrix()
+
+	serialFarm := New(Options{Workers: 1})
+	defer serialFarm.Close()
+	serial, err := serialFarm.Do(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parFarm := New(Options{Workers: 8})
+	defer parFarm.Close()
+	par, err := parFarm.Do(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := parFarm.Do(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range jobs {
+		s := marshal(t, serial[i])
+		if p := marshal(t, par[i]); p != s {
+			t.Errorf("%s: parallel report differs from serial", jobs[i].Name())
+		}
+		if c := marshal(t, cached[i]); c != s {
+			t.Errorf("%s: cached report differs from serial", jobs[i].Name())
+		}
+	}
+
+	c := parFarm.Counters()
+	if c.Runs != uint64(len(jobs)) {
+		t.Fatalf("parallel farm ran %d simulations, want %d (second batch must be all hits)", c.Runs, len(jobs))
+	}
+	if c.CacheHits != uint64(len(jobs)) {
+		t.Fatalf("second batch produced %d cache hits, want %d", c.CacheHits, len(jobs))
+	}
+}
+
+// TestSingleFlight launches identical submissions concurrently while the
+// (hooked) execution blocks: exactly one computes, the rest piggyback.
+func TestSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		started <- struct{}{}
+		<-release
+		return &cpelide.Report{Workload: j.Workload, Cycles: 42}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 4})
+	defer f.Close()
+
+	const n = 8
+	job := baseJob()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	reps := make([]*cpelide.Report, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			rep, err := f.Submit(context.Background(), job)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			reps[i] = rep
+		}(i)
+	}
+	<-started // the leader reached the hook; everyone else must now dedup
+	close(release)
+	wg.Wait()
+
+	c := f.Counters()
+	if c.Runs != 1 {
+		t.Fatalf("%d identical submissions executed %d times, want 1", n, c.Runs)
+	}
+	if c.CacheMisses != 1 || c.DedupWaits+c.CacheHits != n-1 {
+		t.Fatalf("counter split misses=%d dedup=%d hits=%d, want 1 leader and %d followers",
+			c.CacheMisses, c.DedupWaits, c.CacheHits, n-1)
+	}
+	for i, rep := range reps {
+		if rep == nil || rep.Cycles != 42 {
+			t.Fatalf("submission %d got report %+v", i, rep)
+		}
+	}
+}
+
+// TestLRUEviction bounds the cache at two entries and pushes three distinct
+// jobs through it.
+func TestLRUEviction(t *testing.T) {
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		return &cpelide.Report{Workload: j.Workload}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 1, CacheEntries: 2})
+	defer f.Close()
+
+	jobFor := func(i int) Job {
+		j := baseJob()
+		j.Params.Iters = i + 1
+		return j
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Submit(context.Background(), jobFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := f.Counters(); c.Evictions != 1 || f.CacheLen() != 2 {
+		t.Fatalf("evictions=%d cacheLen=%d, want 1 and 2", c.Evictions, f.CacheLen())
+	}
+	// Job 0 was evicted (oldest); resubmitting must simulate again.
+	if _, err := f.Submit(context.Background(), jobFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Counters(); c.Runs != 4 {
+		t.Fatalf("evicted job did not re-run: runs=%d, want 4", c.Runs)
+	}
+	// Job 2 is still resident.
+	if _, err := f.Submit(context.Background(), jobFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Counters(); c.CacheHits != 1 {
+		t.Fatalf("resident job missed: hits=%d, want 1", c.CacheHits)
+	}
+}
+
+// TestPanicIsolation turns a worker panic into a submission error and
+// leaves the pool serviceable.
+func TestPanicIsolation(t *testing.T) {
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		if j.Params.Iters == 13 {
+			panic("unlucky job")
+		}
+		return &cpelide.Report{Workload: j.Workload}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 1})
+	defer f.Close()
+
+	bad := baseJob()
+	bad.Params.Iters = 13
+	if _, err := f.Submit(context.Background(), bad); err == nil {
+		t.Fatal("panicking job returned no error")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %q does not mention the panic", err)
+	}
+	if c := f.Counters(); c.Panics != 1 || c.Errors != 1 {
+		t.Fatalf("panics=%d errors=%d, want 1 and 1", c.Panics, c.Errors)
+	}
+	// Pool survives: a good job still runs, and the failed key was not cached.
+	if _, err := f.Submit(context.Background(), baseJob()); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+	if _, err := f.Submit(context.Background(), bad); err == nil {
+		t.Fatal("failed job was memoized")
+	}
+}
+
+// TestSubmitCanceled covers both cancellation paths: a context canceled
+// before submission and one canceled mid-flight.
+func TestSubmitCanceled(t *testing.T) {
+	release := make(chan struct{})
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		select {
+		case <-release:
+			return &cpelide.Report{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 1})
+	defer f.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Submit(ctx, baseJob()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled submit: got %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Submit(ctx2, baseJob())
+		done <- err
+	}()
+	cancel2()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: got %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	f := New(Options{Workers: 1})
+	f.Close()
+	f.Close() // idempotent
+	if _, err := f.Submit(context.Background(), baseJob()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestStatsMirror checks the farm levels land in the shared stats sheet.
+func TestStatsMirror(t *testing.T) {
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		return &cpelide.Report{}, nil
+	}
+	defer func() { execHook = nil }()
+
+	sheet := stats.New()
+	f := New(Options{Workers: 1, Stats: sheet})
+	defer f.Close()
+
+	job := baseJob()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Submit(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sheet.Get(stats.FarmJobs); got != 3 {
+		t.Fatalf("sheet farm.jobs=%d, want 3", got)
+	}
+	if got := sheet.Get(stats.FarmRuns); got != 1 {
+		t.Fatalf("sheet farm.runs=%d, want 1", got)
+	}
+	if got := sheet.Get(stats.FarmCacheHits); got != 2 {
+		t.Fatalf("sheet farm.cache_hits=%d, want 2", got)
+	}
+}
+
+// TestTraceSpans checks every submission leaves a farm span with a
+// terminal state in the recorder.
+func TestTraceSpans(t *testing.T) {
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		return &cpelide.Report{}, nil
+	}
+	defer func() { execHook = nil }()
+
+	rec := trace.New(0)
+	f := New(Options{Workers: 1, Trace: rec})
+	defer f.Close()
+
+	job := baseJob()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Submit(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var doneSpans, cachedSpans int
+	for _, e := range rec.Events() {
+		if e.Kind != trace.KindJob {
+			continue
+		}
+		switch {
+		case strings.Contains(e.Name, "[done]"):
+			doneSpans++
+			if e.Chiplet < 0 {
+				t.Errorf("executed span has no worker: %+v", e)
+			}
+		case strings.Contains(e.Name, "[cached]"):
+			cachedSpans++
+			if e.Chiplet != -1 {
+				t.Errorf("cache hit span should use worker -1: %+v", e)
+			}
+		}
+	}
+	if doneSpans != 1 || cachedSpans != 1 {
+		t.Fatalf("trace has %d done and %d cached job spans, want 1 and 1", doneSpans, cachedSpans)
+	}
+}
+
+// TestDoOrderAndError checks Do returns reports in job order and surfaces
+// the first real failure.
+func TestDoOrderAndError(t *testing.T) {
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		if j.Workload == "bfs" {
+			return nil, errors.New("boom")
+		}
+		return &cpelide.Report{Workload: j.Workload}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 2})
+	defer f.Close()
+
+	jobs := []Job{baseJob(), baseJob(), baseJob()}
+	jobs[1].Workload = "btree"
+	jobs[2].Workload = "pathfinder"
+	reps, err := f.Do(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"square", "btree", "pathfinder"} {
+		if reps[i].Workload != want {
+			t.Fatalf("reps[%d].Workload=%q, want %q", i, reps[i].Workload, want)
+		}
+	}
+
+	bad := append([]Job{}, jobs...)
+	bad[1].Workload = "bfs"
+	if _, err := f.Do(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Do error = %v, want the job failure", err)
+	}
+}

@@ -1,0 +1,56 @@
+package farm
+
+import (
+	"container/list"
+
+	"repro"
+)
+
+// lruCache is a bounded most-recently-used result cache keyed by canonical
+// job hash. It is not goroutine-safe; the Farm guards it with its mutex.
+type lruCache struct {
+	cap int // <= 0 disables caching entirely
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	rep *cpelide.Report
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*cpelide.Report, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).rep, true
+}
+
+// add inserts or refreshes key and reports whether an older entry was
+// evicted to stay within capacity.
+func (c *lruCache) add(key string, rep *cpelide.Report) bool {
+	if c.cap <= 0 {
+		return false
+	}
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, rep: rep})
+	if c.ll.Len() <= c.cap {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.m, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

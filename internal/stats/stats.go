@@ -65,6 +65,20 @@ const (
 	DirInvals       Counter = "hmg.directory_invalidations"
 )
 
+// Experiment-farm counters (internal/farm). These are absolute levels
+// mirrored from the farm's own atomic tallies, not additive per-run
+// deltas, so they carry max semantics.
+const (
+	FarmJobs        Counter = "farm.jobs"
+	FarmCacheHits   Counter = "farm.cache_hits"
+	FarmCacheMisses Counter = "farm.cache_misses"
+	FarmDedupWaits  Counter = "farm.dedup_waits"
+	FarmRuns        Counter = "farm.runs"
+	FarmErrors      Counter = "farm.errors"
+	FarmPanics      Counter = "farm.panics"
+	FarmEvictions   Counter = "farm.cache_evictions"
+)
+
 // Timing counters.
 const (
 	TotalCycles   Counter = "time.total_cycles"
@@ -84,6 +98,14 @@ var maxSemantics = map[Counter]bool{
 	TableCoarsening: true,
 	TotalCycles:     true,
 	StaleReads:      true,
+	FarmJobs:        true,
+	FarmCacheHits:   true,
+	FarmCacheMisses: true,
+	FarmDedupWaits:  true,
+	FarmRuns:        true,
+	FarmErrors:      true,
+	FarmPanics:      true,
+	FarmEvictions:   true,
 }
 
 // IsMax reports whether counter c carries peak/level semantics: Merge takes

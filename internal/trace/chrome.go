@@ -14,6 +14,7 @@ const (
 	pidStreams  = 1
 	pidChiplets = 2
 	pidCP       = 3
+	pidFarm     = 4
 )
 
 // chromeEvent is one entry of the Chrome trace-event format ("JSON Array
@@ -64,12 +65,15 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 	meta(pidCP, 0, "process_name", "command processor")
 	streams := map[int32]bool{}
 	chiplets := map[int32]bool{}
+	workers := map[int32]bool{}
 	for _, e := range events {
 		switch e.Kind {
 		case KindKernel, KindXfer:
 			streams[e.Stream] = true
 		case KindSync:
 			chiplets[e.Chiplet] = true
+		case KindJob:
+			workers[e.Chiplet] = true
 		}
 	}
 	for _, s := range sortedKeys(streams) {
@@ -79,6 +83,16 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 		meta(pidChiplets, int(c), "thread_name", fmt.Sprintf("chiplet %d", c))
 	}
 	meta(pidCP, 0, "thread_name", "sync plans")
+	if len(workers) > 0 {
+		meta(pidFarm, 0, "process_name", "experiment farm")
+		for _, w := range sortedKeys(workers) {
+			if w < 0 {
+				meta(pidFarm, int(w), "thread_name", "cache hits")
+				continue
+			}
+			meta(pidFarm, int(w), "thread_name", fmt.Sprintf("worker %d", w))
+		}
+	}
 
 	for _, e := range events {
 		switch e.Kind {
@@ -121,6 +135,25 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 				Name: "remote flits", Cat: "noc", Ph: "C",
 				Ts: e.Ts, Pid: pidStreams, Tid: int(e.Stream),
 				Args: map[string]any{"flits": e.Lines},
+			})
+		case KindJob:
+			// Split the record into its queue-wait and execution phases so
+			// Perfetto shows backlog versus occupancy per worker.
+			end := e.Ts + e.Dur
+			if wait := e.Cycles - e.Ts; wait > 0 {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "queued", Cat: "farm", Ph: "X",
+					Ts: e.Ts, Dur: wait, Pid: pidFarm, Tid: int(e.Chiplet),
+					Args: map[string]any{"job": e.Name},
+				})
+			}
+			dur := end - e.Cycles
+			if dur == 0 {
+				dur = 1
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Name, Cat: "farm", Ph: "X",
+				Ts: e.Cycles, Dur: dur, Pid: pidFarm, Tid: int(e.Chiplet),
 			})
 		}
 	}

@@ -30,6 +30,12 @@ const (
 	// KindXfer is the inter-chiplet transfer volume (remote flits) a kernel
 	// generated, recorded at kernel completion.
 	KindXfer
+	// KindJob is one experiment-farm job's lifetime on a worker track
+	// (queued -> running -> done/cached/error). Unlike the simulation
+	// kinds, its timestamps are wall-clock microseconds since the farm
+	// started, so Perfetto shows farm occupancy alongside simulation
+	// events on its own process row.
+	KindJob
 )
 
 func (k Kind) String() string {
@@ -42,6 +48,8 @@ func (k Kind) String() string {
 		return "plan"
 	case KindXfer:
 		return "xfer"
+	case KindJob:
+		return "job"
 	}
 	return "unknown"
 }
@@ -72,6 +80,9 @@ func (k OpKind) String() string {
 //	            Lines is the number of lines written back or invalidated.
 //	KindPlan:   Stream/Inst set; Dur = exposed cycles; Lines = op count.
 //	KindXfer:   Stream/Inst set; Lines = remote flits during the kernel.
+//	KindJob:    Chiplet = farm worker (-1 for cache hits); Name is the job
+//	            label with its terminal state; Ts = enqueue time (wall us),
+//	            Ts+Dur = completion, Cycles = absolute execution start.
 type Event struct {
 	Kind    Kind
 	Op      OpKind
@@ -215,6 +226,27 @@ func (r *Recorder) Transfer(stream, inst int, flits uint64) {
 		return
 	}
 	r.push(Event{Kind: KindXfer, Stream: int32(stream), Inst: int32(inst), Ts: r.now, Lines: flits})
+}
+
+// Job records one experiment-farm job span: the worker that ran it (-1 for
+// cache hits, which never occupy a worker), a display name that includes
+// the terminal state, and the enqueue/execution-start/completion times in
+// wall-clock microseconds since the farm started. The farm serializes
+// calls; the Recorder itself stays single-threaded.
+func (r *Recorder) Job(worker int, name string, queued, start, end uint64) {
+	if r == nil {
+		return
+	}
+	if start < queued {
+		start = queued
+	}
+	if end < start {
+		end = start
+	}
+	r.push(Event{
+		Kind: KindJob, Chiplet: int32(worker), Name: name,
+		Ts: queued, Dur: end - queued, Cycles: start,
+	})
 }
 
 // AuditKernel records one kernel boundary's elision audit entry.

@@ -174,3 +174,72 @@ func TestKindAndOpStrings(t *testing.T) {
 		t.Error("OpKind strings wrong")
 	}
 }
+
+func TestJobSpansAndChromeFarmRows(t *testing.T) {
+	r := New(0)
+	r.Job(0, "square/CPElide/4c [done]", 100, 150, 400)
+	r.Job(-1, "square/CPElide/4c [cached]", 500, 500, 500)
+	r.Job(2, "btree/HMG/4c [error]", 90, 200, 150) // end < start: clamped
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != KindJob || evs[0].Ts != 100 || evs[0].Cycles != 150 || evs[0].Dur != 300 {
+		t.Errorf("job span mis-recorded: %+v", evs[0])
+	}
+	if evs[2].Dur != 110 { // end clamped up to start (200) minus queued (90)
+		t.Errorf("non-monotone job stamps not clamped: %+v", evs[2])
+	}
+	if KindJob.String() != "job" {
+		t.Error("KindJob string wrong")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var farmProcess, workerRows, queuedSpans, runSpans int
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "process_name" && e.Args["name"] == "experiment farm" {
+				farmProcess++
+			}
+			if e.Name == "thread_name" && e.Pid == 4 {
+				workerRows++
+			}
+			continue
+		}
+		if e.Pid != 4 {
+			continue
+		}
+		if e.Name == "queued" {
+			queuedSpans++
+		} else {
+			runSpans++
+		}
+	}
+	if farmProcess != 1 {
+		t.Error("missing experiment farm process row")
+	}
+	if workerRows < 3 { // worker 0, worker 2, cache hits
+		t.Errorf("farm thread rows exported: %d, want >= 3", workerRows)
+	}
+	// The cached job has zero queue wait, so only the two executed jobs
+	// get a "queued" span; all three get an execution span.
+	if queuedSpans != 2 || runSpans != 3 {
+		t.Errorf("farm spans exported: %d queued + %d run, want 2 + 3", queuedSpans, runSpans)
+	}
+}
