@@ -22,10 +22,17 @@ func main() {
 		workers  = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs)")
 		queueCap = flag.Int("queue", 64, "pending-job queue capacity (full queue => 429)")
 		cacheCap = flag.Int("cache", farm.DefaultCacheEntries, "result cache entries (negative disables caching)")
+		jobTO    = flag.Duration("job-timeout", 0, "per-attempt deadline for one simulation (0 = none)")
+		retries  = flag.Int("retries", 0, "extra attempts for transiently failed jobs (timeouts, panics)")
 	)
 	flag.Parse()
 
-	eng := farm.New(farm.Options{Workers: *workers, CacheEntries: *cacheCap})
+	eng := farm.New(farm.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheCap,
+		JobTimeout:   *jobTO,
+		Retries:      *retries,
+	})
 	s := newServer(eng, *queueCap)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
 

@@ -179,6 +179,139 @@ func TestBurstBackpressureAndDrain(t *testing.T) {
 	}
 }
 
+// TestBackpressureRetryAfter pins the 429 contract: a shed submission
+// carries a Retry-After hint so well-behaved clients back off instead of
+// hammering a saturated server, and a queued job's result poll carries the
+// same hint on its 202.
+func TestBackpressureRetryAfter(t *testing.T) {
+	eng := farm.New(farm.Options{Workers: 1})
+	defer eng.Close()
+	s := newServer(eng, 1)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	postRaw := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Occupy the single dispatcher with a full-size run and wait until it is
+	// actually running, so the queue fill below is deterministic.
+	code, first := post(t, ts, `{"workload": "square"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: got %d, want 202", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st statusResponse
+		get(t, ts, "/v1/jobs/"+first.ID, &st)
+		if st.Status == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job never started running (status %q)", st.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the 1-slot queue, then overflow it.
+	code, queued := post(t, ts, `{"workload": "square", "scale": 0.05, "iters": 1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: got %d, want 202", code)
+	}
+
+	resp := postRaw(`{"workload": "square", "scale": 0.05, "iters": 2}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After = %q, want %q", ra, "1")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("429 body should explain the shed (%q, %v)", body.Error, err)
+	}
+
+	// A not-yet-terminal job's result poll also hints when to come back.
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued result poll: got %d, want 202", rr.StatusCode)
+	}
+	if ra := rr.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("202 Retry-After = %q, want %q", ra, "1")
+	}
+}
+
+// TestSubmitFaultSpec checks the HTTP surface accepts fault campaigns and
+// rejects malformed specs.
+func TestSubmitFaultSpec(t *testing.T) {
+	eng := farm.New(farm.Options{Workers: 1})
+	defer eng.Close()
+	s := newServer(eng, 4)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	if code, _ := post(t, ts, `{"workload": "square", "faults": "wat=1"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad fault spec: got %d, want 400", code)
+	}
+
+	body := `{"workload": "square", "scale": 0.05, "protocol": "cpelide", "faults": "drop=0.05,parity=0.01", "fault_seed": 7}`
+	code, sr := post(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("fault-campaign submit: got %d, want 202", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st statusResponse
+		get(t, ts, "/v1/jobs/"+sr.ID, &st)
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "error" {
+			t.Fatalf("fault-campaign job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fault-campaign job stuck in %q", st.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var rep struct {
+		StaleReads uint64 `json:"StaleReads"`
+		Faults     *struct {
+			ReqDrops uint64 `json:"req_drops"`
+			AckDrops uint64 `json:"ack_drops"`
+		} `json:"Faults"`
+	}
+	if code := get(t, ts, "/v1/jobs/"+sr.ID+"/result", &rep); code != http.StatusOK {
+		t.Fatalf("result: got %d, want 200", code)
+	}
+	if rep.Faults == nil {
+		t.Fatal("fault-campaign report carries no fault counters")
+	}
+	if rep.StaleReads != 0 {
+		t.Fatalf("fault campaign produced %d stale reads; degradation must preserve correctness", rep.StaleReads)
+	}
+
+	// A different seed is a different job (content-addressed).
+	code, sr2 := post(t, ts, `{"workload": "square", "scale": 0.05, "protocol": "cpelide", "faults": "drop=0.05,parity=0.01", "fault_seed": 8}`)
+	if code != http.StatusAccepted || sr2.ID == sr.ID {
+		t.Fatalf("distinct fault seed: got %d id=%s, want 202 with a fresh id", code, sr2.ID)
+	}
+}
+
 // TestFigureAndStatsEndpoints exercises the synchronous figure endpoint and
 // the stats snapshot.
 func TestFigureAndStatsEndpoints(t *testing.T) {

@@ -40,6 +40,11 @@ type jobRequest struct {
 	DriverManaged    bool   `json:"driver_managed,omitempty"`
 	SyncLatencySets  int    `json:"sync_latency_sets,omitempty"`
 	PerKernelStats   bool   `json:"per_kernel_stats,omitempty"`
+
+	// Faults is a fault-injection spec (cpelide.ParseFaultSpec syntax,
+	// e.g. "drop=0.1,parity=0.01"); FaultSeed seeds its schedule.
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 }
 
 func parseProtocol(s string) (cpelide.Protocol, error) {
@@ -85,6 +90,14 @@ func (r jobRequest) job() (farm.Job, error) {
 		DriverManaged:       r.DriverManaged,
 		SyncLatencySets:     r.SyncLatencySets,
 		PerKernelStats:      r.PerKernelStats,
+	}
+	if r.Faults != "" {
+		fc, err := cpelide.ParseFaultSpec(r.Faults)
+		if err != nil {
+			return farm.Job{}, err
+		}
+		fc.Seed = r.FaultSeed
+		j.Options.Faults = fc
 	}
 	return j, nil
 }

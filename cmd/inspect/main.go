@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
@@ -89,7 +90,11 @@ func main() {
 		*chiplets, *launches)
 	fmt.Println("  (annotation metadata only — without page-placement knowledge the")
 	fmt.Println("  table is more conservative than in a full simulation)")
-	table := core.NewTable(core.Config{Chiplets: *chiplets})
+	table, err := core.NewTable(core.Config{Chiplets: *chiplets})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(2)
+	}
 	chs := make([]int, *chiplets)
 	for i := range chs {
 		chs[i] = i
@@ -186,4 +191,3 @@ func min(a, b int) int {
 	}
 	return b
 }
-

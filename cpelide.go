@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/hip"
 	"repro/internal/hmg"
@@ -72,7 +73,17 @@ type (
 	TraceRecorder = trace.Recorder
 	// Histogram is a log2-bucketed latency histogram.
 	Histogram = stats.Histogram
+	// FaultConfig selects a deterministic fault-injection campaign; see
+	// Options.Faults.
+	FaultConfig = faults.Config
+	// FaultCounters tallies what a run's fault injector and CP watchdog did.
+	FaultCounters = faults.Counters
 )
+
+// ParseFaultSpec parses a comma-separated fault specification (the
+// cpelide-sim -faults syntax, e.g. "drop=0.1,parity=0.01") into a
+// FaultConfig; see faults.ParseSpec for the key list.
+func ParseFaultSpec(spec string) (*FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // NewTrace returns a trace recorder to pass in Options.Trace. limit > 0
 // enables ring-buffer mode, retaining only the most recent limit events so
@@ -249,6 +260,13 @@ type Options struct {
 	// PerKernelStats populates Report.PerKernel with a counter-sheet delta
 	// per dynamic kernel (plus a final end-of-program entry).
 	PerKernelStats bool
+
+	// Faults, when non-nil and enabled, injects deterministic seed-driven
+	// faults (dropped/delayed acks, link-degradation windows, coherence-table
+	// parity errors) and arms the CP watchdog's retry/degradation machinery.
+	// A nil or disabled config runs byte-identically to a build without the
+	// fault subsystem.
+	Faults *FaultConfig
 }
 
 // Report is the outcome of one run.
@@ -282,6 +300,24 @@ type Report struct {
 	// both in core cycles.
 	KernelDur *Histogram
 	SyncStall *Histogram
+
+	// Faults tallies the injected faults and watchdog reactions when
+	// Options.Faults was enabled (nil otherwise).
+	Faults *FaultCounters `json:",omitempty"`
+}
+
+// CheckConsistency is the runtime consistency checker's verdict: it returns
+// an error if the run observed any stale read — a load that saw a version
+// older than the newest committed write, meaning a required synchronization
+// was elided or lost. It must return nil under every fault schedule; a
+// failure is a correctness bug in the protocol or the degradation machinery,
+// never an acceptable outcome of injected faults.
+func (r *Report) CheckConsistency() error {
+	if r.StaleReads != 0 {
+		return fmt.Errorf("cpelide: consistency violated: %d stale read(s) observed (workload %s, protocol %s)",
+			r.StaleReads, r.Workload, r.Protocol)
+	}
+	return nil
 }
 
 // KernelStats is one dynamic kernel's slice of the run.
@@ -376,15 +412,24 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 	sheet := stats.New()
 	m := machine.New(cfg, bounds, sheet)
 	m.Trace = opt.Trace
+	var injector *faults.Injector
+	if opt.Faults.Enabled() {
+		injector = faults.NewInjector(*opt.Faults, sheet, opt.Trace)
+		m.SetFaults(injector)
+	}
 	var proto coherence.Protocol
 	switch opt.Protocol {
 	case ProtocolBaseline:
 		proto = coherence.NewBaseline(m)
 	case ProtocolCPElide:
-		proto = core.NewWithOptions(m, core.Options{
+		p, err := core.NewWithOptions(m, core.Options{
 			RangeOps:     opt.CPElideRangeOps,
 			TableEntries: opt.CPElideTableEntries,
 		})
+		if err != nil {
+			return nil, err
+		}
+		proto = p
 	case ProtocolHMG, ProtocolHMGWriteBack:
 		proto = hmg.New(m, hmg.Options{
 			WriteBack:     opt.Protocol == ProtocolHMGWriteBack,
@@ -415,7 +460,10 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 	if err != nil {
 		return nil, err
 	}
-	cycles := runner.Run()
+	cycles, err := runner.Run()
+	if err != nil {
+		return nil, fmt.Errorf("cpelide: simulation failed: %w", err)
+	}
 	if runner.Canceled() {
 		return nil, fmt.Errorf("cpelide: run canceled after %d dynamic kernels: %w",
 			len(runner.Records), ctx.Err())
@@ -432,6 +480,10 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 		Kernels:    sheet.Get(stats.KernelsLaunched),
 		KernelDur:  stats.NewHistogram("kernel duration (cycles)"),
 		SyncStall:  stats.NewHistogram("sync stall (cycles)"),
+	}
+	if injector != nil {
+		c := injector.Counters()
+		rep.Faults = &c
 	}
 	for _, rec := range runner.Records {
 		rep.Accesses += rec.Result.Accesses
@@ -480,6 +532,13 @@ func (p *scaledSyncProtocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 	return plan
 }
 
+// DegradeChiplet forwards watchdog degradation through the wrapper so a
+// wrapped stateful protocol still abandons its beliefs.
+func (p *scaledSyncProtocol) DegradeChiplet(c int) { degradeChiplet(p.Protocol, c) }
+
+// ConservativeReset forwards mid-plan interruption resets likewise.
+func (p *scaledSyncProtocol) ConservativeReset() { conservativeReset(p.Protocol) }
+
 // driverManagedProtocol charges the host round trip the driver-managed
 // alternative pays on every launch: the CP must ship scheduling decisions
 // to the driver and wait for its synchronization verdict (Section VI;
@@ -494,4 +553,23 @@ func (p *driverManagedProtocol) PreLaunch(l *coherence.Launch) coherence.SyncPla
 	plan := p.Protocol.PreLaunch(l)
 	plan.HostRoundTripCycles += p.cycles
 	return plan
+}
+
+// DegradeChiplet forwards watchdog degradation through the wrapper so a
+// wrapped stateful protocol still abandons its beliefs.
+func (p *driverManagedProtocol) DegradeChiplet(c int) { degradeChiplet(p.Protocol, c) }
+
+// ConservativeReset forwards mid-plan interruption resets likewise.
+func (p *driverManagedProtocol) ConservativeReset() { conservativeReset(p.Protocol) }
+
+func degradeChiplet(p coherence.Protocol, c int) {
+	if d, ok := p.(coherence.Degradable); ok {
+		d.DegradeChiplet(c)
+	}
+}
+
+func conservativeReset(p coherence.Protocol) {
+	if d, ok := p.(coherence.Degradable); ok {
+		d.ConservativeReset()
+	}
 }

@@ -1,0 +1,204 @@
+// Randomized fault-campaign tests: sweep message-loss rates with parity
+// errors and link degradation enabled, across seeds and protocols, and
+// assert the robustness invariant — under any fault schedule the watchdog's
+// retries and graceful degradation preserve coherence (zero stale reads)
+// and every run terminates. Also pins determinism (same seed, same report)
+// and the byte-identity of disabled injection.
+package cpelide_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// campaignProtocols are the three coherence configurations every fault
+// schedule is replayed under.
+var campaignProtocols = []cpelide.Protocol{
+	cpelide.ProtocolBaseline, cpelide.ProtocolCPElide, cpelide.ProtocolHMG,
+}
+
+func runFaulted(t testing.TB, name string, proto cpelide.Protocol, fc *cpelide.FaultConfig) *cpelide.Report {
+	t.Helper()
+	cfg := cpelide.DefaultConfig(4)
+	alloc := cpelide.NewAllocator(cfg.PageSize)
+	w, err := workloads.Build(name, alloc, workloads.Params{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cpelide.Run(cfg, w, cpelide.Options{Protocol: proto, Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFaultCampaign sweeps drop rates 0-20% with ack delays, link
+// degradation, and table parity errors enabled, across seeds and the three
+// protocols. Every run must complete (the watchdog's attempt bound
+// guarantees termination) with zero stale reads: degradation may only err
+// toward more synchronization, never less.
+func TestFaultCampaign(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 3
+	}
+	dropRates := []float64{0, 0.05, 0.1, 0.2}
+
+	var grand cpelide.FaultCounters
+	for _, proto := range campaignProtocols {
+		proto := proto
+		t.Run(fmt.Sprint(proto), func(t *testing.T) {
+			var total cpelide.FaultCounters
+			for _, drop := range dropRates {
+				for seed := 0; seed < seeds; seed++ {
+					fc := &cpelide.FaultConfig{
+						Seed:            uint64(seed),
+						ReqDropRate:     drop,
+						AckDropRate:     drop,
+						AckDelayRate:    0.05,
+						LinkDegradeRate: 0.02,
+						TableParityRate: 0.05,
+					}
+					rep := runFaulted(t, "square", proto, fc)
+					if err := rep.CheckConsistency(); err != nil {
+						t.Fatalf("drop=%v seed=%d: %v", drop, seed, err)
+					}
+					if rep.Faults == nil {
+						t.Fatalf("drop=%v seed=%d: enabled campaign reported no fault counters", drop, seed)
+					}
+					total.ReqDrops += rep.Faults.ReqDrops
+					total.AckDrops += rep.Faults.AckDrops
+					total.AckDelays += rep.Faults.AckDelays
+					total.LinkWindows += rep.Faults.LinkWindows
+					total.ParityErrors += rep.Faults.ParityErrors
+					total.Retries += rep.Faults.Retries
+					total.Degradations += rep.Faults.Degradations
+				}
+			}
+			// The campaign must exercise each protocol's actual fault
+			// surface (individual runs may see none). HMG is directory-based
+			// write-through coherence: it issues no kernel-boundary sync
+			// messages to drop and has no coherence table for parity, so
+			// only link degradation applies to it.
+			if proto != cpelide.ProtocolHMG {
+				if total.ReqDrops == 0 || total.AckDrops == 0 || total.AckDelays == 0 {
+					t.Errorf("campaign dropped/delayed no sync messages: %+v", total)
+				}
+				if total.Retries == 0 {
+					t.Errorf("campaign never triggered the watchdog: %+v", total)
+				}
+			}
+			if proto == cpelide.ProtocolCPElide && total.ParityErrors == 0 {
+				t.Errorf("campaign hit no table parity errors: %+v", total)
+			}
+			grand.LinkWindows += total.LinkWindows
+			grand.Degradations += total.Degradations
+		})
+	}
+	if grand.LinkWindows == 0 {
+		t.Errorf("campaign opened no link-degradation windows: %+v", grand)
+	}
+	if !testing.Short() && grand.Degradations == 0 {
+		t.Errorf("full campaign never exercised graceful degradation: %+v", grand)
+	}
+}
+
+// TestFaultDeterminism pins the reproducibility contract: a fault schedule
+// is a pure function of (seed, event order), so rerunning a seed yields a
+// byte-identical report, and a different seed yields a different schedule.
+func TestFaultDeterminism(t *testing.T) {
+	fc := func(seed uint64) *cpelide.FaultConfig {
+		return &cpelide.FaultConfig{
+			Seed: seed, ReqDropRate: 0.1, AckDropRate: 0.1,
+			AckDelayRate: 0.05, LinkDegradeRate: 0.02, TableParityRate: 0.01,
+		}
+	}
+	for _, proto := range campaignProtocols {
+		a := marshalReport(t, runFaulted(t, "square", proto, fc(7)))
+		b := marshalReport(t, runFaulted(t, "square", proto, fc(7)))
+		if a != b {
+			t.Errorf("%v: same fault seed produced different reports", proto)
+		}
+		// HMG's only fault surface is the rare link window, so two seeds
+		// can legitimately coincide; the seed-sensitivity check needs a
+		// protocol with sync messages to drop.
+		if proto == cpelide.ProtocolHMG {
+			continue
+		}
+		c := marshalReport(t, runFaulted(t, "square", proto, fc(8)))
+		if a == c {
+			t.Errorf("%v: seeds 7 and 8 produced identical reports", proto)
+		}
+	}
+}
+
+// TestFaultsDisabledByteIdentical pins the nil-safe no-op contract: a nil
+// fault config, a zero config, and a config with only a seed set (no rates)
+// must all produce byte-identical reports — instrumentation off is
+// indistinguishable from instrumentation absent.
+func TestFaultsDisabledByteIdentical(t *testing.T) {
+	for _, proto := range campaignProtocols {
+		base := marshalReport(t, runFaulted(t, "square", proto, nil))
+		for name, fc := range map[string]*cpelide.FaultConfig{
+			"zero config": {},
+			"seed only":   {Seed: 5},
+			"knobs only":  {MaxAttempts: 9, TimeoutCycles: 77},
+		} {
+			if got := marshalReport(t, runFaulted(t, "square", proto, fc)); got != base {
+				t.Errorf("%v: disabled fault config (%s) changed the report", proto, name)
+			}
+		}
+	}
+}
+
+func marshalReport(t testing.TB, rep *cpelide.Report) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// BenchmarkFaultCampaign is the CI smoke campaign: a small seeded sweep
+// whose headline metrics — stale reads (must stay 0), watchdog activity,
+// and the fraction of elisions CPElide retains under faults — are uploaded
+// as a JSON artifact.
+func BenchmarkFaultCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var stale, retries, degradations uint64
+		var elidedFaulty, elidedClean uint64
+		for _, proto := range campaignProtocols {
+			clean := runFaulted(b, "square", proto, nil)
+			for seed := 0; seed < 5; seed++ {
+				fc := &cpelide.FaultConfig{
+					Seed:            uint64(seed),
+					ReqDropRate:     0.1,
+					AckDropRate:     0.1,
+					AckDelayRate:    0.05,
+					LinkDegradeRate: 0.02,
+					TableParityRate: 0.01,
+				}
+				rep := runFaulted(b, "square", proto, fc)
+				stale += rep.StaleReads
+				retries += rep.Faults.Retries
+				degradations += rep.Faults.Degradations
+				if proto == cpelide.ProtocolCPElide {
+					elidedFaulty += rep.Sheet.Get(stats.AcquiresElided) + rep.Sheet.Get(stats.ReleasesElided)
+					elidedClean += clean.Sheet.Get(stats.AcquiresElided) + clean.Sheet.Get(stats.ReleasesElided)
+				}
+			}
+		}
+		b.ReportMetric(float64(stale), "stale-reads")
+		b.ReportMetric(float64(retries), "watchdog-retries")
+		b.ReportMetric(float64(degradations), "degradations")
+		if elidedClean > 0 {
+			b.ReportMetric(float64(elidedFaulty)/float64(elidedClean), "elision-retained")
+		}
+	}
+}

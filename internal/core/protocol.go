@@ -31,23 +31,27 @@ type Options struct {
 }
 
 // New builds CPElide over machine m with default options.
-func New(m *machine.Machine) *Protocol { return NewWithOptions(m, Options{}) }
+func New(m *machine.Machine) (*Protocol, error) { return NewWithOptions(m, Options{}) }
 
 // NewWithOptions builds CPElide over machine m.
-func NewWithOptions(m *machine.Machine, o Options) *Protocol {
+func NewWithOptions(m *machine.Machine, o Options) (*Protocol, error) {
 	entries := m.Cfg.TableEntries()
 	if o.TableEntries > 0 {
 		entries = o.TableEntries
 	}
+	t, err := NewTable(Config{
+		Chiplets:          m.Cfg.NumChiplets,
+		MaxDataStructures: m.Cfg.TableMaxDataStructures,
+		MaxEntries:        entries,
+		RangeOps:          o.RangeOps,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Protocol{
 		Baseline: coherence.NewBaseline(m),
-		Table: NewTable(Config{
-			Chiplets:          m.Cfg.NumChiplets,
-			MaxDataStructures: m.Cfg.TableMaxDataStructures,
-			MaxEntries:        entries,
-			RangeOps:          o.RangeOps,
-		}),
-	}
+		Table:    t,
+	}, nil
 }
 
 // Name implements coherence.Protocol.
@@ -71,7 +75,15 @@ func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 		// must show the state that justified the decisions.
 		preState = p.Table.String()
 	}
-	ops := p.Table.OnKernelLaunch(views)
+	// A detected table parity error means no tracked state can be trusted:
+	// reset first (emitting the baseline full flush+invalidate boundary) so
+	// OnKernelLaunch records this kernel's accesses into the fresh table.
+	var ops []Op
+	if m.Faults.TableParity() {
+		ops = p.Table.ParityReset()
+		m.Sheet.Inc(stats.TableParityResets)
+	}
+	ops = append(ops, p.Table.OnKernelLaunch(views)...)
 
 	plan := coherence.SyncPlan{
 		CPCycles: cfg.CPLatencyCycles() + cfg.CPElideOverheadCycles(),
@@ -198,6 +210,23 @@ func (p *Protocol) homedSubset(c int, rs mem.RangeSet) mem.RangeSet {
 		}
 	}
 	return out
+}
+
+// DegradeChiplet implements coherence.Degradable: after the CP watchdog
+// falls back to the reliable full flush+invalidate on chiplet c, the table's
+// belief about c is conservatively abandoned (all-Dirty over full extents).
+func (p *Protocol) DegradeChiplet(c int) {
+	p.Table.DegradeChiplet(c)
+	p.M.Sheet.Inc(stats.TableDegradations)
+}
+
+// ConservativeReset implements coherence.Degradable for whole-run
+// interruptions (context cancel mid-plan): every chiplet's tracked state is
+// degraded, so a hypothetical resume could only over-synchronize.
+func (p *Protocol) ConservativeReset() {
+	for c := 0; c < p.M.Cfg.NumChiplets; c++ {
+		p.DegradeChiplet(c)
+	}
 }
 
 // Finalize flushes the chiplets the table still tracks as Dirty — the only

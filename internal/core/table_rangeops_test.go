@@ -9,7 +9,7 @@ import (
 
 // rangeTable returns a table in fine-grained range-operation mode.
 func rangeTable() *Table {
-	return NewTable(Config{Chiplets: nChiplets, RangeOps: true})
+	return mustTable(Config{Chiplets: nChiplets, RangeOps: true})
 }
 
 // TestRangeOpsSelectiveStateTransitions: in range mode a flush or

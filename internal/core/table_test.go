@@ -11,7 +11,17 @@ import (
 const nChiplets = 4
 
 func newTestTable() *Table {
-	return NewTable(Config{Chiplets: nChiplets})
+	return mustTable(Config{Chiplets: nChiplets})
+}
+
+// mustTable builds a table for cfg, panicking on a config error (test
+// configurations are static and known-good).
+func mustTable(cfg Config) *Table {
+	tb, err := NewTable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tb
 }
 
 // view builds an ArgView for a structure of size bytes at base, accessed by
@@ -256,7 +266,7 @@ func TestCoarseningMergesNearestStructures(t *testing.T) {
 // TestCoarsenedConservativeMode: coarsening a read-only and a written
 // structure must track the combination as written.
 func TestCoarsenedConservativeMode(t *testing.T) {
-	tb := NewTable(Config{Chiplets: nChiplets, MaxDataStructures: 2})
+	tb := mustTable(Config{Chiplets: nChiplets, MaxDataStructures: 2})
 	whole := func(b mem.Addr) map[int]mem.Range {
 		return map[int]mem.Range{0: {Lo: b, Hi: b + 0x1000}}
 	}
@@ -279,7 +289,7 @@ func TestCoarsenedConservativeMode(t *testing.T) {
 // it, and evicting a Valid row must invalidate it — otherwise a later
 // launch could never order against the forgotten structure.
 func TestCapacityEvictionSynchronizesVictim(t *testing.T) {
-	tb := NewTable(Config{Chiplets: nChiplets, MaxDataStructures: 8, MaxEntries: 2})
+	tb := mustTable(Config{Chiplets: nChiplets, MaxDataStructures: 8, MaxEntries: 2})
 	r0 := mem.Range{Lo: base0, Hi: base0 + 0x1000}
 	tb.OnKernelLaunch([]ArgView{view(base0, 0x1000, kernels.ReadWrite, map[int]mem.Range{0: r0})})
 	b1 := base0 + 0x100000
@@ -307,7 +317,7 @@ func TestCapacityEvictionSynchronizesVictim(t *testing.T) {
 }
 
 func TestRangeOpsCarryRanges(t *testing.T) {
-	tb := NewTable(Config{Chiplets: nChiplets, RangeOps: true})
+	tb := mustTable(Config{Chiplets: nChiplets, RangeOps: true})
 	whole := mem.Range{Lo: base0, Hi: base0 + 1<<20}
 	tb.OnKernelLaunch([]ArgView{view(base0, 1<<20, kernels.ReadWrite, map[int]mem.Range{0: whole})})
 	ops := tb.OnKernelLaunch([]ArgView{view(base0, 1<<20, kernels.Read, map[int]mem.Range{1: whole})})
@@ -356,7 +366,7 @@ func TestEntryRemovedWhenAllNotPresent(t *testing.T) {
 // by the simulator's version checker; here we pin table-local properties.
 func TestRandomScheduleInvariants(t *testing.T) {
 	rnd := rand.New(rand.NewSource(12345))
-	tb := NewTable(Config{Chiplets: nChiplets, MaxDataStructures: 4, MaxEntries: 8})
+	tb := mustTable(Config{Chiplets: nChiplets, MaxDataStructures: 4, MaxEntries: 8})
 	bases := []mem.Addr{0x1000_0000, 0x1100_0000, 0x1200_0000, 0x1300_0000,
 		0x1400_0000, 0x1500_0000, 0x1600_0000, 0x1700_0000, 0x1800_0000, 0x1900_0000}
 	for i := 0; i < 2000; i++ {

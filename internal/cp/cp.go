@@ -98,6 +98,7 @@ type Runner struct {
 	FinalDelta *stats.Sheet
 
 	canceled bool
+	err      error // first internal failure (e.g. a causality bug); Run returns it
 }
 
 type streamState struct {
@@ -143,10 +144,14 @@ func NewRunner(x *gpu.Executor, specs []StreamSpec, rc RunnerConfig) (*Runner, e
 		r.streams = append(r.streams, ss)
 		prePlace(m, spec.Workload, chs, rc.Placement)
 	}
-	if rec := m.Trace; rec != nil {
-		// The engine clocks the recorder so emissions deep in the machine
-		// carry launch-boundary timestamps without any time plumbing.
-		r.Eng.OnDeliver = func(t event.Time) { rec.SetNow(uint64(t)) }
+	// The engine clocks the recorder and the fault injector so emissions
+	// deep in the machine carry launch-boundary timestamps without any time
+	// plumbing. Both calls are nil-safe, and m.Faults is read at delivery
+	// time so an injector installed after NewRunner is still clocked.
+	rec := m.Trace
+	r.Eng.OnDeliver = func(t event.Time) {
+		rec.SetNow(uint64(t))
+		m.Faults.SetNow(uint64(t))
 	}
 	return r, nil
 }
@@ -246,10 +251,17 @@ func prePlace(m *machine.Machine, w *kernels.Workload, chiplets []int, policy Pa
 }
 
 // Run executes all streams to completion and returns the total cycle count
-// (including the end-of-program releases).
-func (r *Runner) Run() uint64 {
-	r.Eng.Schedule(0, event.HandlerFunc(r.dispatch), nil)
+// (including the end-of-program releases). A non-nil error reports an
+// internal failure (a causality bug surfaced by the event engine); the
+// returned cycle count is then meaningless.
+func (r *Runner) Run() (uint64, error) {
+	if err := r.Eng.Schedule(0, event.HandlerFunc(r.dispatch), nil); err != nil {
+		return 0, err
+	}
 	end := r.Eng.Run()
+	if r.err != nil {
+		return 0, r.err
+	}
 	var pre *stats.Sheet
 	if r.Cfg.PerKernel {
 		pre = r.X.M.Sheet.Clone()
@@ -259,7 +271,28 @@ func (r *Runner) Run() uint64 {
 	if r.Cfg.PerKernel {
 		r.FinalDelta = r.X.M.Sheet.DeltaFrom(pre)
 	}
-	return total
+	return total, nil
+}
+
+// fail records the first internal error and stops the event loop.
+func (r *Runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.Eng.Stop()
+}
+
+// cancelRun stops dispatching because Cfg.Ctx was canceled. The cancel can
+// land between a boundary's synchronization operations, so a stateful
+// protocol's tracked beliefs (some ops executed, some not) are no longer
+// trustworthy: they are conservatively abandoned so any continued use of the
+// protocol instance can only over-synchronize.
+func (r *Runner) cancelRun() {
+	r.canceled = true
+	if d, ok := r.X.P.(coherence.Degradable); ok {
+		d.ConservativeReset()
+	}
+	r.Eng.Stop()
 }
 
 // Canceled reports whether the run was stopped early because Cfg.Ctx was
@@ -284,15 +317,13 @@ func (r *Runner) ctxDone() bool {
 func (r *Runner) dispatch(event.Event) {
 	now := r.Eng.Now()
 	if r.ctxDone() {
-		r.canceled = true
-		r.Eng.Stop()
+		r.cancelRun()
 		return
 	}
 	for _, ss := range r.streams {
 		for ss.next < len(ss.launches) && r.ready(ss, now) {
 			if r.ctxDone() {
-				r.canceled = true
-				r.Eng.Stop()
+				r.cancelRun()
 				return
 			}
 			l := ss.launches[ss.next]
@@ -324,7 +355,10 @@ func (r *Runner) dispatch(event.Event) {
 			}
 			ss.next++
 			if endT > now {
-				r.Eng.Schedule(endT, event.HandlerFunc(r.dispatch), nil)
+				if err := r.Eng.Schedule(endT, event.HandlerFunc(r.dispatch), nil); err != nil {
+					r.fail(err)
+					return
+				}
 				break // later kernels of this stream wait for completion
 			}
 		}

@@ -1,10 +1,12 @@
 package cp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -85,7 +87,10 @@ func newRunner(t *testing.T, specs []StreamSpec) (*Runner, *machine.Machine) {
 
 func TestRunnerSerializesSingleStream(t *testing.T) {
 	r, m := newRunner(t, []StreamSpec{{Workload: buildWorkload("w", 5)}})
-	total := r.Run()
+	total, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if total == 0 {
 		t.Fatal("zero cycles")
 	}
@@ -132,7 +137,9 @@ func TestRunnerOverlapsDisjointStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Run()
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
 	overlapped := false
 	for _, a := range r.Records {
 		for _, b := range r.Records {
@@ -164,7 +171,9 @@ func TestRunnerSharedChipletsSerialize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Run()
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
 	for _, a := range r.Records {
 		for _, b := range r.Records {
 			if &a != &b && a.Launch != b.Launch &&
@@ -279,5 +288,73 @@ func TestPlacementPolicies(t *testing.T) {
 	d2 := w2.Structures[0]
 	if m2.Pages.HomeIfPlaced(d2.Base) == m2.Pages.HomeIfPlaced(d2.Base+4096) {
 		t.Error("interleaved placement not alternating")
+	}
+}
+
+// pollCancelCtx is a deterministic mid-run cancellation source: it reports
+// not-canceled for the first polls-1 Done() calls and canceled from the
+// polls-th call onward. The runner polls once at dispatch entry and once
+// before every kernel launch, so the cancel lands between two kernels of a
+// live run, never before it starts or after it ends.
+type pollCancelCtx struct {
+	context.Context
+	polls  int
+	closed chan struct{}
+	n      int
+}
+
+func (c *pollCancelCtx) Done() <-chan struct{} {
+	c.n++
+	if c.n >= c.polls {
+		return c.closed
+	}
+	return nil
+}
+
+func (c *pollCancelCtx) Err() error {
+	if c.n >= c.polls {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelMidRunDegradesTable is the regression test for cancellation
+// landing between a kernel boundary's synchronization operations: a stateful
+// protocol's tracked beliefs must be conservatively abandoned (every tracked
+// entry degraded to Dirty) so continued use can only over-synchronize,
+// never elide a needed acquire.
+func TestCancelMidRunDegradesTable(t *testing.T) {
+	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}
+	m := machine.New(smallCfg(), bounds, stats.New())
+	proto, err := core.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gpu.New(m, proto, 1)
+	ctx := &pollCancelCtx{Context: context.Background(), polls: 4, closed: make(chan struct{})}
+	close(ctx.closed)
+	r, err := NewRunner(x, []StreamSpec{{Workload: buildWorkload("w", 8)}},
+		RunnerConfig{RangeInfo: true, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Canceled() {
+		t.Fatal("runner did not observe the cancellation")
+	}
+	if len(r.Records) == 0 {
+		t.Fatal("cancel landed before any kernel ran; the fixture must cancel mid-run")
+	}
+	if len(r.Records) == 8 {
+		t.Fatal("cancel landed after the run completed; the fixture must cancel mid-run")
+	}
+	if proto.Table.Degradations == 0 {
+		t.Fatal("cancel mid-run did not conservatively reset the coherence table")
+	}
+	if got := m.Sheet.Get(stats.TableDegradations); got != uint64(m.Cfg.NumChiplets) {
+		t.Fatalf("sheet %s=%d, want one degradation per chiplet (%d)",
+			stats.TableDegradations, got, m.Cfg.NumChiplets)
 	}
 }

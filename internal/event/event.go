@@ -8,7 +8,16 @@
 // simulations are deterministic.
 package event
 
-import "container/heap"
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrPastEvent reports an attempt to schedule an event before the current
+// clock: a causality bug in the caller. It is returned (not panicked) so
+// embedding simulations can surface it as a run error instead of crashing
+// a worker.
+var ErrPastEvent = errors.New("event: scheduled in the past")
 
 // Time is an absolute simulation time in GPU core cycles.
 type Time uint64
@@ -80,20 +89,22 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Pending() int { return len(e.pending) }
 
 // Schedule enqueues an event for handler h at absolute time t with the given
-// payload. Scheduling in the past (t < Now) panics: it indicates a causality
-// bug in the caller.
-func (e *Engine) Schedule(t Time, h Handler, payload any) {
+// payload. Scheduling in the past (t < Now) returns ErrPastEvent and enqueues
+// nothing: it indicates a causality bug in the caller, which should stop the
+// simulation and surface the error.
+func (e *Engine) Schedule(t Time, h Handler, payload any) error {
 	if t < e.now {
-		panic("event: scheduled in the past")
+		return ErrPastEvent
 	}
 	ev := &Event{When: t, Handler: h, Payload: payload, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.pending, ev)
+	return nil
 }
 
 // ScheduleAfter enqueues an event delta cycles after the current time.
-func (e *Engine) ScheduleAfter(delta Time, h Handler, payload any) {
-	e.Schedule(e.now+delta, h, payload)
+func (e *Engine) ScheduleAfter(delta Time, h Handler, payload any) error {
+	return e.Schedule(e.now+delta, h, payload)
 }
 
 // Stop makes Run return after the current event's handler completes.

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -70,17 +71,21 @@ func TestEnginePayloadAndNow(t *testing.T) {
 	e.Run()
 }
 
-func TestEnginePastSchedulePanics(t *testing.T) {
+func TestEnginePastScheduleError(t *testing.T) {
 	e := New()
+	delivered := false
 	e.Schedule(10, HandlerFunc(func(Event) {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
-			}
-		}()
-		e.Schedule(5, HandlerFunc(func(Event) {}), nil)
+		if err := e.Schedule(5, HandlerFunc(func(Event) { delivered = true }), nil); !errors.Is(err, ErrPastEvent) {
+			t.Errorf("Schedule(past) = %v, want ErrPastEvent", err)
+		}
+		if err := e.ScheduleAfter(1, HandlerFunc(func(Event) {}), nil); err != nil {
+			t.Errorf("ScheduleAfter(+1) = %v, want nil", err)
+		}
 	}), nil)
 	e.Run()
+	if delivered {
+		t.Error("a past-scheduled event was enqueued and delivered")
+	}
 }
 
 func TestEngineStopAndStep(t *testing.T) {

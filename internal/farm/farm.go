@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
@@ -44,6 +45,17 @@ const DefaultCacheEntries = 4096
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("farm: closed")
 
+// ErrJobTimeout marks a job attempt that exceeded Options.JobTimeout while
+// its submitter was still waiting. Wrapped, so test with errors.Is.
+var ErrJobTimeout = errors.New("farm: job attempt timed out")
+
+// ErrPanic marks a job whose execution panicked. Wrapped, so test with
+// errors.Is.
+var ErrPanic = errors.New("farm: job panicked")
+
+// DefaultRetryDelay is the backoff base when Options.RetryBaseDelay is zero.
+const DefaultRetryDelay = 10 * time.Millisecond
+
 // Options configures a Farm.
 type Options struct {
 	// Workers bounds concurrent simulations; <= 0 uses runtime.NumCPU().
@@ -57,6 +69,17 @@ type Options struct {
 	// Trace, when non-nil, records one span per job (queued -> running ->
 	// done/cached/error) in wall-clock microseconds since the farm started.
 	Trace *trace.Recorder
+	// JobTimeout bounds each execution attempt; the simulation halts at the
+	// next kernel boundary once the deadline passes and the attempt fails
+	// with ErrJobTimeout. Zero means no per-attempt deadline.
+	JobTimeout time.Duration
+	// Retries is how many extra attempts a transiently failed job gets
+	// (a timed-out attempt or a worker panic, never a canceled submitter).
+	// Zero means fail on the first error.
+	Retries int
+	// RetryBaseDelay is the base of the full-jitter exponential backoff
+	// between attempts; zero uses DefaultRetryDelay.
+	RetryBaseDelay time.Duration
 }
 
 // Counters is a snapshot of the farm's activity tallies.
@@ -78,6 +101,10 @@ type Counters struct {
 	Panics uint64 `json:"panics"`
 	// Evictions counts cache entries dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
+	// Retries counts re-executed attempts after transient failures.
+	Retries uint64 `json:"retries"`
+	// Timeouts counts attempts that hit the per-attempt JobTimeout.
+	Timeouts uint64 `json:"timeouts"`
 }
 
 // Farm runs jobs on a bounded worker pool behind a content-addressed cache.
@@ -96,6 +123,10 @@ type Farm struct {
 	sheet *stats.Sheet
 	rec   *trace.Recorder
 	epoch time.Time
+
+	jobTimeout time.Duration
+	retries    int
+	retryBase  time.Duration
 }
 
 // flight is one in-progress computation; every submitter of the same key
@@ -137,6 +168,10 @@ func New(o Options) *Farm {
 		sheet:    o.Stats,
 		rec:      o.Trace,
 		epoch:    time.Now(),
+
+		jobTimeout: o.JobTimeout,
+		retries:    o.Retries,
+		retryBase:  o.RetryBaseDelay,
 	}
 	f.wg.Add(w)
 	for i := 0; i < w; i++ {
@@ -283,7 +318,7 @@ func (f *Farm) run(id int, t *task) {
 		f.traceJob(id, t.fl.job.Name()+" [canceled]", t.fl.queuedUS, startUS, f.sinceUS())
 		return
 	}
-	rep, err := f.execute(t.ctx, t.fl.job)
+	rep, err := f.executeWithRetry(t.ctx, t.fl.job)
 	state := "done"
 	if err != nil {
 		state = "error"
@@ -292,12 +327,80 @@ func (f *Farm) run(id int, t *task) {
 	f.traceJob(id, t.fl.job.Name()+" ["+state+"]", t.fl.queuedUS, startUS, f.sinceUS())
 }
 
+// executeWithRetry runs j, re-attempting transient failures (per-attempt
+// timeouts and worker panics) up to f.retries extra times with full-jitter
+// exponential backoff. A canceled submitter or a deterministic simulation
+// error fails immediately.
+func (f *Farm) executeWithRetry(ctx context.Context, j Job) (*cpelide.Report, error) {
+	rep, err := f.attempt(ctx, j)
+	for r := 0; r < f.retries && f.transient(ctx, err); r++ {
+		select {
+		case <-time.After(f.retryDelay(r)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-f.quit:
+			return nil, ErrClosed
+		}
+		f.mu.Lock()
+		f.c.Retries++
+		f.mirrorLocked()
+		f.mu.Unlock()
+		rep, err = f.attempt(ctx, j)
+	}
+	return rep, err
+}
+
+// attempt runs j once under the per-attempt deadline, translating an
+// attempt-local deadline expiry (the submitter is still waiting) into
+// ErrJobTimeout.
+func (f *Farm) attempt(parent context.Context, j Job) (*cpelide.Report, error) {
+	ctx := parent
+	if f.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, f.jobTimeout)
+		defer cancel()
+	}
+	rep, err := f.execute(ctx, j)
+	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) && parent.Err() == nil {
+		f.mu.Lock()
+		f.c.Timeouts++
+		f.mirrorLocked()
+		f.mu.Unlock()
+		return nil, fmt.Errorf("farm: job %s after %v: %w", j.Name(), f.jobTimeout, ErrJobTimeout)
+	}
+	return rep, err
+}
+
+// transient reports whether err is worth another attempt: an attempt-local
+// timeout or a panic, while the submitter itself is still waiting.
+func (f *Farm) transient(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, ErrJobTimeout) || errors.Is(err, ErrPanic)
+}
+
+// retryDelay draws a full-jitter backoff delay for the given retry index:
+// uniform in [0, base<<attempt], capped at one second. Jitter decorrelates
+// retry storms when many jobs fail together.
+func (f *Farm) retryDelay(attempt int) time.Duration {
+	base := f.retryBase
+	if base <= 0 {
+		base = DefaultRetryDelay
+	}
+	ceil := base << uint(attempt)
+	if ceil > time.Second {
+		ceil = time.Second
+	}
+	return time.Duration(rand.Int64N(int64(ceil) + 1))
+}
+
 // execute builds the job's workload(s) and runs the simulation, converting
 // panics into errors so one bad job cannot take down the pool.
 func (f *Farm) execute(ctx context.Context, j Job) (rep *cpelide.Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("farm: job %s panicked: %v", j.Name(), p)
+			err = fmt.Errorf("farm: job %s: %w: %v", j.Name(), ErrPanic, p)
 			f.mu.Lock()
 			f.c.Panics++
 			f.mu.Unlock()
@@ -372,6 +475,8 @@ func (f *Farm) mirrorLocked() {
 	f.sheet.Set(stats.FarmErrors, f.c.Errors)
 	f.sheet.Set(stats.FarmPanics, f.c.Panics)
 	f.sheet.Set(stats.FarmEvictions, f.c.Evictions)
+	f.sheet.Set(stats.FarmRetries, f.c.Retries)
+	f.sheet.Set(stats.FarmTimeouts, f.c.Timeouts)
 }
 
 // sinceUS returns wall-clock microseconds since the farm started.

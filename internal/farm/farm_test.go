@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/stats"
@@ -318,6 +319,185 @@ func TestTraceSpans(t *testing.T) {
 	}
 	if doneSpans != 1 || cachedSpans != 1 {
 		t.Fatalf("trace has %d done and %d cached job spans, want 1 and 1", doneSpans, cachedSpans)
+	}
+}
+
+// TestLRUEvictionRacesSingleFlight churns a one-slot cache while an
+// identical job is in flight: the duplicate submission must piggyback on
+// the live flight (evictions never force a recompute of in-flight work),
+// and the contested result must still land in the cache afterwards.
+func TestLRUEvictionRacesSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		if j.Params.Iters == 0 { // the contested job; churn jobs set Iters
+			started <- struct{}{}
+			<-release
+		}
+		return &cpelide.Report{Workload: j.Workload, Cycles: uint64(j.Params.Iters)}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 2, CacheEntries: 1})
+	defer f.Close()
+
+	waitFor := func(what string, cond func(Counters) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(f.Counters()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (counters %+v)", what, f.Counters())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	contested := baseJob()
+	leaderDone := make(chan *cpelide.Report, 1)
+	go func() {
+		rep, err := f.Submit(context.Background(), contested)
+		if err != nil {
+			t.Error(err)
+		}
+		leaderDone <- rep
+	}()
+	<-started // the leader is executing and will block until released
+
+	// Churn the one-slot cache so every insertion evicts the previous
+	// resident while the contested flight is still live.
+	for i := 1; i <= 3; i++ {
+		j := baseJob()
+		j.Params.Iters = i
+		if _, err := f.Submit(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A duplicate of the contested job must dedup onto the live flight,
+	// not become a second leader (its key is long gone from the cache).
+	dupDone := make(chan *cpelide.Report, 1)
+	go func() {
+		rep, err := f.Submit(context.Background(), contested)
+		if err != nil {
+			t.Error(err)
+		}
+		dupDone <- rep
+	}()
+	waitFor("dedup registration", func(c Counters) bool { return c.DedupWaits == 1 })
+	close(release)
+
+	lrep, drep := <-leaderDone, <-dupDone
+	if lrep != drep {
+		t.Fatal("duplicate submission did not share the leader's report")
+	}
+	c := f.Counters()
+	if c.Runs != 4 {
+		t.Fatalf("runs=%d, want 4 (3 churn + 1 contested; the duplicate must not recompute)", c.Runs)
+	}
+	if c.Evictions != 3 {
+		t.Fatalf("evictions=%d, want 3 (churn twice + contested result displacing the last churn job)", c.Evictions)
+	}
+	// The contested result was cached on completion despite the churn.
+	if _, err := f.Submit(context.Background(), contested); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Counters().CacheHits; got != 1 {
+		t.Fatalf("post-flight resubmit hits=%d, want 1 (result must be resident)", got)
+	}
+}
+
+// TestRetryAfterTransientFailure checks panicking attempts are re-run with
+// backoff up to the retry budget, while deterministic errors fail fast.
+func TestRetryAfterTransientFailure(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		if j.Workload == "bfs" {
+			return nil, errors.New("deterministic failure")
+		}
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n < 3 {
+			panic("transient fault")
+		}
+		return &cpelide.Report{Cycles: 7}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 1, Retries: 3, RetryBaseDelay: time.Millisecond})
+	defer f.Close()
+
+	rep, err := f.Submit(context.Background(), baseJob())
+	if err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if rep.Cycles != 7 {
+		t.Fatalf("got report %+v, want the third attempt's result", rep)
+	}
+	c := f.Counters()
+	if c.Retries != 2 || c.Panics != 2 {
+		t.Fatalf("retries=%d panics=%d, want 2 and 2", c.Retries, c.Panics)
+	}
+	if c.Runs != 1 || c.Errors != 0 {
+		t.Fatalf("runs=%d errors=%d, want 1 and 0 (the job eventually succeeded)", c.Runs, c.Errors)
+	}
+
+	// A deterministic error consumes no retries.
+	bad := baseJob()
+	bad.Workload = "bfs"
+	if _, err := f.Submit(context.Background(), bad); err == nil {
+		t.Fatal("deterministic failure succeeded")
+	}
+	if got := f.Counters().Retries; got != 2 {
+		t.Fatalf("deterministic failure was retried: retries=%d, want still 2", got)
+	}
+}
+
+// TestJobTimeout covers the per-attempt deadline: without retries the
+// submitter sees ErrJobTimeout; with a retry budget a slow first attempt is
+// re-run and can succeed.
+func TestJobTimeout(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	execHook = func(ctx context.Context, j Job) (*cpelide.Report, error) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n == 1 || j.Params.Iters == 13 { // first attempt (and the hopeless job) hang
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &cpelide.Report{Cycles: 9}, nil
+	}
+	defer func() { execHook = nil }()
+
+	f := New(Options{Workers: 1, JobTimeout: 20 * time.Millisecond, Retries: 1, RetryBaseDelay: time.Millisecond})
+	defer f.Close()
+
+	rep, err := f.Submit(context.Background(), baseJob())
+	if err != nil {
+		t.Fatalf("slow first attempt was not retried: %v", err)
+	}
+	if rep.Cycles != 9 {
+		t.Fatalf("got report %+v, want the retry's result", rep)
+	}
+	c := f.Counters()
+	if c.Timeouts != 1 || c.Retries != 1 {
+		t.Fatalf("timeouts=%d retries=%d, want 1 and 1", c.Timeouts, c.Retries)
+	}
+
+	// A job that hangs on every attempt exhausts the budget and surfaces
+	// ErrJobTimeout to the submitter.
+	hopeless := baseJob()
+	hopeless.Params.Iters = 13
+	if _, err := f.Submit(context.Background(), hopeless); !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("got %v, want ErrJobTimeout", err)
+	}
+	if c := f.Counters(); c.Timeouts != 3 || c.Errors != 1 {
+		t.Fatalf("timeouts=%d errors=%d, want 3 and 1", c.Timeouts, c.Errors)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro"
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/workloads"
 )
 
@@ -118,6 +119,7 @@ type optionsKey struct {
 	Scheduler           uint8
 	SyncLatencySets     int
 	PerKernelStats      bool
+	Faults              *faults.Config
 }
 
 // canonOptions normalizes o into its key form. Protocol-specific knobs that
@@ -144,6 +146,10 @@ func canonOptions(o cpelide.Options) optionsKey {
 	if o.Protocol == cpelide.ProtocolHMG || o.Protocol == cpelide.ProtocolHMGWriteBack {
 		k.HMGDirLinesPerEntry = o.HMGDirLinesPerEntry
 		k.HMGDirEntries = o.HMGDirEntries
+	}
+	if o.Faults.Enabled() {
+		c := o.Faults.Canonical()
+		k.Faults = &c
 	}
 	return k
 }

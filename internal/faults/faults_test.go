@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("drop=0.1, delay=0.05,link=0.01,parity=0.002,attempts=6,timeout=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReqDropRate != 0.1 || c.AckDropRate != 0.1 {
+		t.Errorf("drop= must set both loss rates, got req=%v ack=%v", c.ReqDropRate, c.AckDropRate)
+	}
+	if c.AckDelayRate != 0.05 || c.LinkDegradeRate != 0.01 || c.TableParityRate != 0.002 {
+		t.Errorf("rates parsed wrong: %+v", c)
+	}
+	if c.MaxAttempts != 6 || c.TimeoutCycles != 1000 {
+		t.Errorf("watchdog knobs parsed wrong: %+v", c)
+	}
+
+	c, err = ParseSpec("req-drop=0.2,ack-drop=0.3,delay-cycles=750,link-factor=8,link-window=1000,backoff-cap=9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReqDropRate != 0.2 || c.AckDropRate != 0.3 || c.AckDelayCycles != 750 {
+		t.Errorf("split drop keys parsed wrong: %+v", c)
+	}
+	if c.LinkDegradeFactor != 8 || c.LinkDegradeCycles != 1000 || c.BackoffCapCycles != 9000 {
+		t.Errorf("link/backoff knobs parsed wrong: %+v", c)
+	}
+
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Errorf("empty spec must parse to a disabled config, got (%+v, %v)", c, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop",          // not key=value
+		"drop=1.5",      // rate out of range
+		"drop=-0.1",     // negative rate
+		"drop=x",        // not a number
+		"attempts=-2",   // negative integer
+		"link-factor=0", // multiplier below 1
+		"link-window=x", // not a cycle count
+		"wat=1",         // unknown key
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted an invalid spec", spec)
+		}
+	}
+	// The unknown-key error teaches the vocabulary.
+	_, err := ParseSpec("wat=1")
+	if err == nil || !strings.Contains(err.Error(), "parity") {
+		t.Errorf("unknown-key error %v does not list the recognized keys", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config reports enabled")
+	}
+	if (&Config{Seed: 42, MaxAttempts: 9}).Enabled() {
+		t.Error("config with only watchdog knobs set injects nothing and must be disabled")
+	}
+	for _, c := range []Config{
+		{ReqDropRate: 0.1}, {AckDropRate: 0.1}, {AckDelayRate: 0.1},
+		{LinkDegradeRate: 0.1}, {TableParityRate: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v must be enabled", c)
+		}
+	}
+}
+
+func TestCanonicalFillsDefaults(t *testing.T) {
+	c := Config{AckDropRate: 0.5}.Canonical()
+	if c.AckDelayCycles != 500 || c.LinkDegradeFactor != 4 || c.LinkDegradeCycles != 50_000 {
+		t.Errorf("magnitude defaults wrong: %+v", c)
+	}
+	if c.MaxAttempts != 4 || c.TimeoutCycles != 2000 || c.BackoffCapCycles != 16*2000 {
+		t.Errorf("watchdog defaults wrong: %+v", c)
+	}
+	if c2 := c.Canonical(); c2 != c {
+		t.Error("Canonical is not idempotent")
+	}
+}
+
+// TestDeterminism pins the splitmix64 stream: the same seed yields the same
+// decision sequence, a different seed a different one.
+func TestDeterminism(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		inj := NewInjector(Config{Seed: seed, AckDropRate: 0.5}, nil, nil)
+		out := make([]bool, 64)
+		for k := range out {
+			out[k] = inj.DropAck(0)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed diverged at draw %d", k)
+		}
+	}
+	c := draw(8)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-draw sequences")
+	}
+}
+
+// TestZeroRateConsumesNothing pins the stream-independence property: a
+// disabled fault class must not consume draws, so enabling one class never
+// shifts another class's schedule.
+func TestZeroRateConsumesNothing(t *testing.T) {
+	a := NewInjector(Config{Seed: 3, AckDropRate: 0.5}, nil, nil)
+	b := NewInjector(Config{Seed: 3, AckDropRate: 0.5, ReqDropRate: 0}, nil, nil)
+	for k := 0; k < 64; k++ {
+		b.DropRequest(0) // rate 0: must not advance the stream
+		if a.DropAck(0) != b.DropAck(0) {
+			t.Fatalf("zero-rate DropRequest shifted the ack stream at draw %d", k)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	inj.SetNow(100)
+	inj.OnKernelBoundary()
+	inj.NoteRetry(0, 10)
+	inj.NoteDegradation(0)
+	if inj.DropRequest(0) || inj.DropAck(0) || inj.TableParity() || inj.LinkDegraded() {
+		t.Error("nil injector injected a fault")
+	}
+	if inj.AckDelay(0) != 0 || inj.LinkFactor() != 1 {
+		t.Error("nil injector perturbed latency")
+	}
+	if inj.Counters() != (Counters{}) {
+		t.Error("nil injector counted something")
+	}
+}
+
+// TestLinkWindow drives the clock through one degradation window.
+func TestLinkWindow(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1, LinkDegradeRate: 1, LinkDegradeFactor: 3, LinkDegradeCycles: 100}, nil, nil)
+	if inj.LinkDegraded() {
+		t.Fatal("degraded before any boundary")
+	}
+	inj.SetNow(10)
+	inj.OnKernelBoundary() // rate 1: must open a window
+	if !inj.LinkDegraded() || inj.LinkFactor() != 3 {
+		t.Fatalf("window not open: degraded=%v factor=%v", inj.LinkDegraded(), inj.LinkFactor())
+	}
+	inj.SetNow(109)
+	if !inj.LinkDegraded() {
+		t.Fatal("window closed early")
+	}
+	inj.SetNow(110)
+	if inj.LinkDegraded() || inj.LinkFactor() != 1 {
+		t.Fatal("window did not close at now+cycles")
+	}
+	if got := inj.Counters().LinkWindows; got != 1 {
+		t.Fatalf("LinkWindows=%d, want 1", got)
+	}
+}
+
+// TestAccounting checks decisions land in the counters, the stats sheet, and
+// the trace.
+func TestAccounting(t *testing.T) {
+	sheet := stats.New()
+	rec := trace.New(0)
+	inj := NewInjector(Config{Seed: 1, AckDropRate: 1, AckDelayRate: 1, AckDelayCycles: 42}, sheet, rec)
+	if !inj.DropAck(2) {
+		t.Fatal("rate-1 ack drop did not fire")
+	}
+	if d := inj.AckDelay(1); d != 42 {
+		t.Fatalf("AckDelay=%d, want 42", d)
+	}
+	inj.NoteRetry(3, 2000)
+	inj.NoteDegradation(3)
+
+	c := inj.Counters()
+	if c.AckDrops != 1 || c.AckDelays != 1 || c.DelayCycles != 42 || c.Retries != 1 || c.Degradations != 1 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	if sheet.Get(stats.FaultAckDrops) != 1 || sheet.Get(stats.FaultDelayCycles) != 42 ||
+		sheet.Get(stats.WatchdogRetries) != 1 || sheet.Get(stats.WatchdogBackoffCycles) != 2000 ||
+		sheet.Get(stats.WatchdogDegradations) != 1 {
+		t.Fatal("sheet mirror wrong")
+	}
+	var kinds []string
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindFault {
+			kinds = append(kinds, e.Name)
+		}
+	}
+	want := []string{"ack-drop", "ack-delay", "watchdog-retry", "watchdog-degrade"}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace fault events %v, want %v", kinds, want)
+	}
+	for k := range want {
+		if kinds[k] != want[k] {
+			t.Fatalf("trace fault events %v, want %v", kinds, want)
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // totals, which the timing model turns into bandwidth-occupancy lower bounds.
 package noc
 
-import "repro/internal/stats"
+import (
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
 
 // Fabric models the GPU's interconnect as an accounting fabric: transfers
 // are attributed to flit classes and to the ports they occupy. Latency is
@@ -16,6 +19,7 @@ type Fabric struct {
 	flitSize int
 	sheet    *stats.Sheet
 	gpuOf    func(chiplet int) int
+	faults   *faults.Injector
 
 	portBytes []uint64 // per chiplet: bytes crossing that chiplet's crossbar port
 	dramBytes []uint64 // per chiplet: bytes to/from the chiplet's HBM partition
@@ -40,6 +44,10 @@ func New(n, flitSize int, sheet *stats.Sheet, gpuOf func(int) int) *Fabric {
 		dramBytes: make([]uint64, n),
 	}
 }
+
+// SetFaults installs a fault injector so remote transfers occurring inside a
+// link-degradation window are classed separately.
+func (f *Fabric) SetFaults(inj *faults.Injector) { f.faults = inj }
 
 func (f *Fabric) flits(bytes int) uint64 {
 	return uint64((bytes + f.flitSize - 1) / f.flitSize)
@@ -68,6 +76,9 @@ func (f *Fabric) L2L3(from, home, bytes int) {
 // interconnect.
 func (f *Fabric) Remote(from, to, bytes int) {
 	f.sheet.Add(stats.FlitsRemote, f.flits(bytes))
+	if f.faults.LinkDegraded() {
+		f.sheet.Add(stats.FlitsRemoteDegraded, f.flits(bytes))
+	}
 	f.portBytes[from] += uint64(bytes)
 	if to != from {
 		f.portBytes[to] += uint64(bytes)

@@ -65,6 +65,23 @@ const (
 	DirInvals       Counter = "hmg.directory_invalidations"
 )
 
+// Fault-injection and CP-watchdog counters (internal/faults). Additive
+// per-run tallies of what the injector fired and how the watchdog reacted.
+const (
+	FaultReqDrops         Counter = "faults.req_drops"
+	FaultAckDrops         Counter = "faults.ack_drops"
+	FaultAckDelays        Counter = "faults.ack_delays"
+	FaultDelayCycles      Counter = "faults.ack_delay_cycles"
+	FaultLinkWindows      Counter = "faults.link_windows"
+	FaultTableParity      Counter = "faults.table_parity"
+	WatchdogRetries       Counter = "cp.watchdog_retries"
+	WatchdogBackoffCycles Counter = "cp.watchdog_backoff_cycles"
+	WatchdogDegradations  Counter = "cp.watchdog_degradations"
+	TableParityResets     Counter = "cp.table_parity_resets"
+	TableDegradations     Counter = "cp.table_degradations"
+	FlitsRemoteDegraded   Counter = "noc.flits.remote_degraded"
+)
+
 // Experiment-farm counters (internal/farm). These are absolute levels
 // mirrored from the farm's own atomic tallies, not additive per-run
 // deltas, so they carry max semantics.
@@ -77,6 +94,8 @@ const (
 	FarmErrors      Counter = "farm.errors"
 	FarmPanics      Counter = "farm.panics"
 	FarmEvictions   Counter = "farm.cache_evictions"
+	FarmRetries     Counter = "farm.retries"
+	FarmTimeouts    Counter = "farm.timeouts"
 )
 
 // Timing counters.
@@ -106,6 +125,8 @@ var maxSemantics = map[Counter]bool{
 	FarmErrors:      true,
 	FarmPanics:      true,
 	FarmEvictions:   true,
+	FarmRetries:     true,
+	FarmTimeouts:    true,
 }
 
 // IsMax reports whether counter c carries peak/level semantics: Merge takes

@@ -26,7 +26,10 @@ func TestStaleDebug(t *testing.T) {
 		cfg := DefaultConfig(4)
 		sheet := stats.New()
 		m := machine.New(cfg, w.Bounds(), sheet)
-		proto := core.New(m)
+		proto, err := core.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		x := gpu.New(m, proto, w.Seed)
 
 		cur := "?"
