@@ -43,6 +43,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/oracle"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -78,6 +79,13 @@ type (
 	FaultConfig = faults.Config
 	// FaultCounters tallies what a run's fault injector and CP watchdog did.
 	FaultCounters = faults.Counters
+	// Oracle is the golden-model consistency checker; see Options.Oracle
+	// and NewOracle.
+	Oracle = oracle.Oracle
+	// OracleSummary is an oracle's campaign digest.
+	OracleSummary = oracle.Summary
+	// OracleViolation is one detected memory-model violation.
+	OracleViolation = oracle.Violation
 )
 
 // ParseFaultSpec parses a comma-separated fault specification (the
@@ -267,6 +275,78 @@ type Options struct {
 	// A nil or disabled config runs byte-identically to a build without the
 	// fault subsystem.
 	Faults *FaultConfig
+
+	// Oracle, when non-nil, attaches the golden-model consistency checker
+	// (build one with NewOracle): it observes every boundary's executed
+	// synchronization plan and independently verifies, from the memory-model
+	// rules alone, that no load could observe a stale value. Observational
+	// only — no simulation counter changes. Oracles are single-use; query
+	// Oracle.Err / Oracle.Summary after the run. Incompatible with
+	// NoRangeInfo (whole-structure write declarations make the last writer
+	// ambiguous); such runs return an error.
+	Oracle *Oracle
+
+	// Mutate deliberately weakens the command processor's synchronization
+	// plans before execution — mutation testing for the oracle and the
+	// runtime staleness checker. MutateNone for real runs.
+	Mutate Mutation
+}
+
+// Mutation selects a deliberate CP weakening for mutation testing.
+type Mutation int
+
+const (
+	// MutateNone runs the protocol's plans unmodified.
+	MutateNone Mutation = iota
+	// MutateDropAcquire removes every acquire (invalidate) operation.
+	MutateDropAcquire
+	// MutateDropRelease removes every release (flush) operation.
+	MutateDropRelease
+	// MutateWrongChiplet retargets every operation to the next chiplet,
+	// modeling a CP that syncs, but syncs the wrong caches.
+	MutateWrongChiplet
+)
+
+func (m Mutation) String() string {
+	switch m {
+	case MutateNone:
+		return "none"
+	case MutateDropAcquire:
+		return "drop-acquire"
+	case MutateDropRelease:
+		return "drop-release"
+	case MutateWrongChiplet:
+		return "wrong-chiplet"
+	}
+	return fmt.Sprintf("Mutation(%d)", int(m))
+}
+
+// ParseMutation parses the cmd/crosscheck -mutate syntax.
+func ParseMutation(s string) (Mutation, error) {
+	switch s {
+	case "", "none":
+		return MutateNone, nil
+	case "drop-acquire":
+		return MutateDropAcquire, nil
+	case "drop-release":
+		return MutateDropRelease, nil
+	case "wrong-chiplet":
+		return MutateWrongChiplet, nil
+	}
+	return MutateNone, fmt.Errorf("cpelide: unknown mutation %q (want drop-acquire, drop-release or wrong-chiplet)", s)
+}
+
+// NewOracle returns a consistency oracle for checking a run under the given
+// protocol: Baseline and CPElide get the boundary-synchronization rules;
+// HMG, HMG-WB and RemoteBank keep their L2s hardware-coherent, so their
+// oracle only journals the sync footprint for cross-protocol comparison.
+func NewOracle(p Protocol) *Oracle {
+	switch p {
+	case ProtocolBaseline, ProtocolCPElide:
+		return oracle.New(oracle.BoundarySync)
+	default:
+		return oracle.New(oracle.HardwareCoherent)
+	}
 }
 
 // Report is the outcome of one run.
@@ -304,6 +384,16 @@ type Report struct {
 	// Faults tallies the injected faults and watchdog reactions when
 	// Options.Faults was enabled (nil otherwise).
 	Faults *FaultCounters `json:",omitempty"`
+
+	// ImageHash digests the final memory image (per-line latest and
+	// committed versions). Identical workloads must produce identical
+	// hashes under every correct protocol; the crosscheck campaign compares
+	// them across Baseline/CPElide/HMG/HMG-WB.
+	ImageHash uint64
+
+	// Oracle is the consistency oracle's digest when Options.Oracle was
+	// attached (nil otherwise).
+	Oracle *OracleSummary `json:",omitempty"`
 }
 
 // CheckConsistency is the runtime consistency checker's verdict: it returns
@@ -447,9 +537,23 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 	if opt.SyncLatencySets > 1 {
 		proto = &scaledSyncProtocol{Protocol: proto, sets: opt.SyncLatencySets}
 	}
+	if opt.Mutate != MutateNone {
+		// Outermost wrapper: observers (and the machine) see the weakened
+		// plan, exactly as a buggy CP would have issued it.
+		proto = &mutatedProtocol{Protocol: proto, kind: opt.Mutate, chiplets: cfg.NumChiplets}
+	}
 
 	x := gpu.New(m, proto, seed)
 	x.Sched = opt.Scheduler
+	if opt.Oracle != nil {
+		if opt.NoRangeInfo {
+			return nil, fmt.Errorf("cpelide: the oracle requires range-precise annotations (NoRangeInfo declares whole-structure writes on every chiplet, making the last writer ambiguous)")
+		}
+		if err := opt.Oracle.Bind(cfg.NumChiplets, cfg.LineSize, m.Pages.HomeIfPlaced, opt.Trace); err != nil {
+			return nil, err
+		}
+		x.Obs = opt.Oracle
+	}
 	runner, err := cp.NewRunner(x, specs, cp.RunnerConfig{
 		RangeInfo:        !opt.NoRangeInfo,
 		Placement:        opt.Placement,
@@ -480,6 +584,10 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 		Kernels:    sheet.Get(stats.KernelsLaunched),
 		KernelDur:  stats.NewHistogram("kernel duration (cycles)"),
 		SyncStall:  stats.NewHistogram("sync stall (cycles)"),
+	}
+	rep.ImageHash = m.Mem.ImageHash()
+	if opt.Oracle != nil {
+		rep.Oracle = opt.Oracle.Summary()
 	}
 	if injector != nil {
 		c := injector.Counters()
@@ -561,6 +669,55 @@ func (p *driverManagedProtocol) DegradeChiplet(c int) { degradeChiplet(p.Protoco
 
 // ConservativeReset forwards mid-plan interruption resets likewise.
 func (p *driverManagedProtocol) ConservativeReset() { conservativeReset(p.Protocol) }
+
+// mutatedProtocol weakens every synchronization plan the wrapped protocol
+// produces — mutation testing for the consistency machinery. It wraps
+// outermost so the executor, the machine, and any observer all see the
+// weakened plan.
+type mutatedProtocol struct {
+	coherence.Protocol
+	kind     Mutation
+	chiplets int
+}
+
+func (p *mutatedProtocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
+	plan := p.Protocol.PreLaunch(l)
+	plan.Ops = p.mutateOps(plan.Ops)
+	return plan
+}
+
+func (p *mutatedProtocol) Finalize() coherence.SyncPlan {
+	plan := p.Protocol.Finalize()
+	plan.Ops = p.mutateOps(plan.Ops)
+	return plan
+}
+
+func (p *mutatedProtocol) mutateOps(ops []coherence.SyncOp) []coherence.SyncOp {
+	out := ops[:0]
+	for _, op := range ops {
+		switch p.kind {
+		case MutateDropAcquire:
+			if op.Kind == coherence.Acquire {
+				continue
+			}
+		case MutateDropRelease:
+			if op.Kind == coherence.Release {
+				continue
+			}
+		case MutateWrongChiplet:
+			op.Chiplet = (op.Chiplet + 1) % p.chiplets
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// DegradeChiplet forwards watchdog degradation through the wrapper so a
+// wrapped stateful protocol still abandons its beliefs.
+func (p *mutatedProtocol) DegradeChiplet(c int) { degradeChiplet(p.Protocol, c) }
+
+// ConservativeReset forwards mid-plan interruption resets likewise.
+func (p *mutatedProtocol) ConservativeReset() { conservativeReset(p.Protocol) }
 
 func degradeChiplet(p coherence.Protocol, c int) {
 	if d, ok := p.(coherence.Degradable); ok {

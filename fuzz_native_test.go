@@ -1,0 +1,63 @@
+package cpelide
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// FuzzCrosscheckDAG is the native-fuzzing entry into the differential
+// harness: the fuzzer picks a generator seed and a machine shape, and the
+// target runs the generated DAG under Baseline and CPElide with the
+// consistency oracle attached, asserting the full crosscheck invariant set
+// — no oracle violation, no stale read, byte-identical memory images, and
+// CPElide's sync operations a subset of Baseline's. Anything the fuzzer
+// finds is a real protocol or oracle bug, minimized to (seed, shape).
+func FuzzCrosscheckDAG(f *testing.F) {
+	f.Add(uint64(0), byte(0))
+	f.Add(uint64(17), byte(1))
+	f.Add(uint64(93), byte(2))
+	f.Add(uint64(1000), byte(3))
+	f.Add(uint64(424242), byte(5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, shape byte) {
+		chiplets := []int{2, 4, 7}[int(shape)%3]
+		c := gen.Generate(seed, gen.Config{Chiplets: chiplets, MaxKernels: 6, MaxStreams: 2})
+		cfg := DefaultConfig(chiplets)
+		opt := Options{Placement: c.Placement}
+		if shape&4 != 0 {
+			opt.CPElideTableEntries = 3 // force the eviction path
+			cfg.L2SizeBytes = 256 << 10
+		}
+		if shape&8 != 0 {
+			opt.CPElideRangeOps = true
+		}
+
+		run := func(p Protocol) (*Report, *Oracle) {
+			o := NewOracle(p)
+			po := opt
+			po.Protocol = p
+			po.Oracle = o
+			rep, err := RunStreams(cfg, c.Specs, po)
+			if err != nil {
+				t.Fatalf("%s / %v: %v", c.Name, p, err)
+			}
+			if rep.StaleReads != 0 {
+				t.Fatalf("%s / %v: %d stale reads", c.Name, p, rep.StaleReads)
+			}
+			if err := o.Err(); err != nil {
+				t.Fatalf("%s / %v: %v", c.Name, p, err)
+			}
+			return rep, o
+		}
+		baseRep, baseOracle := run(ProtocolBaseline)
+		elideRep, elideOracle := run(ProtocolCPElide)
+		if baseRep.ImageHash != elideRep.ImageHash {
+			t.Fatalf("%s: memory image diverged: CPElide %#x vs Baseline %#x",
+				c.Name, elideRep.ImageHash, baseRep.ImageHash)
+		}
+		if broken := elideOracle.SubsetOf(baseOracle); len(broken) != 0 {
+			t.Fatalf("%s: CPElide issued ops Baseline did not: %+v", c.Name, broken)
+		}
+	})
+}

@@ -348,11 +348,10 @@ func (t *Table) OnKernelLaunch(args []ArgView) []Op {
 	}
 
 	// Phase C: record the launching kernel's own accesses.
-	var evictionOps []Op
 	for _, u := range updates {
 		e := u.e
 		if e == nil {
-			e, evictionOps = t.insert(u.arg, evictionOps, addFlush, addInval)
+			e = t.insert(u.arg, addFlush, addInval)
 		}
 		e.lastUse = t.seq
 		e.mode = u.arg.Mode
@@ -391,9 +390,7 @@ func (t *Table) OnKernelLaunch(args []ArgView) []Op {
 		t.PeakEntries = len(t.entries)
 	}
 
-	ops := t.buildOps(flush, inval, flushRanges, invalRanges)
-	ops = append(ops, evictionOps...)
-	return ops
+	return t.buildOps(flush, inval, flushRanges, invalRanges)
 }
 
 // buildOps materializes the op list, flushes first.
@@ -487,10 +484,16 @@ func mergeState(a, b State) State {
 }
 
 // insert adds a row for arg, evicting the LRU row if the table is full. An
-// evicted row's chiplets are synchronized conservatively — Dirty chiplets
-// flushed, Valid/Stale chiplets invalidated — because once the row is gone
-// the table can no longer order future accesses against it.
-func (t *Table) insert(arg *ArgView, evOps []Op, addFlush, addInval func(int, mem.RangeSet)) (*entry, []Op) {
+// evicted row's chiplets are synchronized conservatively — every copy the
+// victim tracked is invalidated (the machine writes Dirty lines back before
+// dropping them, so the invalidation subsumes the flush) — because once the
+// row is gone the table can no longer order future accesses against it. A
+// flush alone would not do: the victim's clean copies would outlive the row,
+// and a later remote write could stale them with no row left to trigger the
+// deferred acquire. The requested operations flow through the same
+// addFlush/addInval accumulators as Phases A and B, so buildOps emits and
+// accounts them exactly once, deduplicated against the boundary's other ops.
+func (t *Table) insert(arg *ArgView, addFlush, addInval func(int, mem.RangeSet)) *entry {
 	for len(t.entries) >= t.cfg.MaxEntries {
 		var victim *entry
 		for _, e := range t.entries {
@@ -510,20 +513,9 @@ func (t *Table) insert(arg *ArgView, evOps []Op, addFlush, addInval func(int, me
 			switch s {
 			case Dirty:
 				addFlush(c, victim.ranges[c])
-				t.FlushesIssue++
-				op := Op{Chiplet: c, Flush: true}
-				if t.cfg.RangeOps {
-					op.Ranges = victim.ranges[c].Clone()
-				}
-				evOps = append(evOps, op)
+				addInval(c, victim.ranges[c])
 			case Valid, Stale:
 				addInval(c, victim.ranges[c])
-				t.InvalsIssue++
-				op := Op{Chiplet: c}
-				if t.cfg.RangeOps {
-					op.Ranges = victim.ranges[c].Clone()
-				}
-				evOps = append(evOps, op)
 			}
 		}
 		t.remove(victim)
@@ -538,7 +530,7 @@ func (t *Table) insert(arg *ArgView, evOps []Op, addFlush, addInval func(int, me
 		states: make([]State, n),
 	}
 	t.entries = append(t.entries, e)
-	return e, evOps
+	return e
 }
 
 func (t *Table) remove(victim *entry) {

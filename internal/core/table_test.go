@@ -285,9 +285,12 @@ func TestCoarsenedConservativeMode(t *testing.T) {
 	}
 }
 
-// TestCapacityEvictionSynchronizesVictim: evicting a Dirty row must flush
-// it, and evicting a Valid row must invalidate it — otherwise a later
-// launch could never order against the forgotten structure.
+// TestCapacityEvictionSynchronizesVictim: evicting a Dirty row must write
+// its data back AND drop the chiplet's copies — a flush alone would leave
+// clean untracked lines in that L2, which a later remote write could stale
+// with no table row left to trigger the deferred acquire. The machine's
+// invalidation writes dirty lines back before dropping them, so a single
+// invalidate op (counted as both a flush and an inval) does the job.
 func TestCapacityEvictionSynchronizesVictim(t *testing.T) {
 	tb := mustTable(Config{Chiplets: nChiplets, MaxDataStructures: 8, MaxEntries: 2})
 	r0 := mem.Range{Lo: base0, Hi: base0 + 0x1000}
@@ -295,24 +298,61 @@ func TestCapacityEvictionSynchronizesVictim(t *testing.T) {
 	b1 := base0 + 0x100000
 	tb.OnKernelLaunch([]ArgView{view(b1, 0x1000, kernels.Read,
 		map[int]mem.Range{1: {Lo: b1, Hi: b1 + 0x1000}})})
+	preFlush, preInval := tb.FlushesIssue, tb.InvalsIssue
 	// Third structure forces eviction of the LRU row (the dirty one).
 	b2 := base0 + 0x200000
 	ops := tb.OnKernelLaunch([]ArgView{view(b2, 0x1000, kernels.Read,
 		map[int]mem.Range{2: {Lo: b2, Hi: b2 + 0x1000}})})
-	var flushed0 bool
+	var synced0 bool
 	for _, op := range ops {
-		if op.Flush && op.Chiplet == 0 {
-			flushed0 = true
+		if op.Chiplet == 0 && !op.Flush {
+			synced0 = true // invalidate subsumes the flush
 		}
 	}
-	if !flushed0 {
-		t.Fatalf("evicted dirty row not flushed: %+v", ops)
+	if !synced0 {
+		t.Fatalf("evicted dirty row not invalidated: %+v", ops)
+	}
+	if tb.FlushesIssue != preFlush+1 || tb.InvalsIssue != preInval+1 {
+		t.Errorf("eviction accounting: flushes %d->%d invals %d->%d, want one each",
+			preFlush, tb.FlushesIssue, preInval, tb.InvalsIssue)
 	}
 	if tb.Evictions != 1 {
 		t.Errorf("evictions = %d", tb.Evictions)
 	}
 	if tb.Len() > 2 {
 		t.Errorf("capacity exceeded: %d", tb.Len())
+	}
+}
+
+// TestCapacityEvictionDropsValidCopies is the regression test for the
+// retained-copy hazard: evicting a Valid row must produce exactly one
+// invalidate op for the holder (not two, and not a bare flush), so no
+// chiplet retains copies the table no longer tracks.
+func TestCapacityEvictionDropsValidCopies(t *testing.T) {
+	tb := mustTable(Config{Chiplets: nChiplets, MaxDataStructures: 8, MaxEntries: 2})
+	r0 := mem.Range{Lo: base0, Hi: base0 + 0x1000}
+	tb.OnKernelLaunch([]ArgView{view(base0, 0x1000, kernels.Read, map[int]mem.Range{0: r0})})
+	b1 := base0 + 0x100000
+	tb.OnKernelLaunch([]ArgView{view(b1, 0x1000, kernels.Read,
+		map[int]mem.Range{1: {Lo: b1, Hi: b1 + 0x1000}})})
+	preInval := tb.InvalsIssue
+	b2 := base0 + 0x200000
+	ops := tb.OnKernelLaunch([]ArgView{view(b2, 0x1000, kernels.Read,
+		map[int]mem.Range{2: {Lo: b2, Hi: b2 + 0x1000}})})
+	var invals0 int
+	for _, op := range ops {
+		if op.Chiplet == 0 {
+			if op.Flush {
+				t.Fatalf("clean victim flushed: %+v", op)
+			}
+			invals0++
+		}
+	}
+	if invals0 != 1 {
+		t.Fatalf("victim invalidate ops = %d, want exactly 1 (ops %+v)", invals0, ops)
+	}
+	if tb.InvalsIssue != preInval+1 {
+		t.Errorf("invals counted %d times, want once", tb.InvalsIssue-preInval)
 	}
 }
 

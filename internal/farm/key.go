@@ -119,6 +119,7 @@ type optionsKey struct {
 	Scheduler           uint8
 	SyncLatencySets     int
 	PerKernelStats      bool
+	Mutate              uint8
 	Faults              *faults.Config
 }
 
@@ -135,6 +136,7 @@ func canonOptions(o cpelide.Options) optionsKey {
 		Scheduler:        uint8(o.Scheduler),
 		SyncLatencySets:  o.SyncLatencySets,
 		PerKernelStats:   o.PerKernelStats,
+		Mutate:           uint8(o.Mutate),
 	}
 	if k.SyncLatencySets <= 1 {
 		k.SyncLatencySets = 0 // 0 and 1 both mean "no extra serialized sets"

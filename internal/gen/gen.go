@@ -1,0 +1,270 @@
+// Package gen generates seeded random kernel-DAG workloads for the
+// differential crosscheck campaign (cmd/crosscheck): multi-stream kernel
+// sequences with deliberately injected RAW/WAR/WAW inter-kernel dependence
+// chains, randomized access-mode annotations, grid shapes, chiplet bindings
+// and page-placement policies.
+//
+// The grammar mirrors the studied benchmarks' structure (DESIGN.md §11):
+//
+//   - a case is 1..MaxStreams streams, each a workload with its own
+//     structures carved from one shared allocator (so streams are disjoint,
+//     as the multi-stream API requires);
+//   - a structure is either a scatter target (written only by atomic
+//     indirect read-modify-writes) or a normal array (written through the
+//     write-back path) — never both, matching the simulator's
+//     data-race-freedom assumption;
+//   - each kernel references 1..4 distinct structures; reads draw from
+//     {linear, stencil+halo, gather, broadcast}, writes from {linear,
+//     linear RMW, atomic scatter};
+//   - inter-kernel hazard edges are injected explicitly: each kernel
+//     prefers structures its predecessors touched, re-accessing them with a
+//     mode that forms a RAW, WAR or WAW edge, so generated DAGs exercise
+//     exactly the dependence shapes the CP's elision logic must order.
+//
+// Generation is deterministic in the seed; the same seed reproduces the
+// same case byte-for-byte on every run and platform.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cp"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// HeapBase mirrors the public API's allocation base (cpelide.HeapBase,
+// restated here because the root package sits above this one).
+const HeapBase mem.Addr = 0x1000_0000
+
+const pageSize = 4096
+
+// Config bounds the generated cases.
+type Config struct {
+	// Chiplets is the machine's chiplet count (for chiplet-binding draws).
+	// Default 4.
+	Chiplets int
+	// MaxKernels bounds each stream's dynamic kernel count. Default 10.
+	MaxKernels int
+	// MaxStructs bounds each stream's structure count. Default 5.
+	MaxStructs int
+	// MaxStreams bounds the stream count. Default 3.
+	MaxStreams int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chiplets <= 0 {
+		c.Chiplets = 4
+	}
+	if c.MaxKernels <= 0 {
+		c.MaxKernels = 10
+	}
+	if c.MaxStructs <= 0 {
+		c.MaxStructs = 5
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 3
+	}
+	return c
+}
+
+// EdgeStats counts the inter-kernel dependence edges a case contains,
+// classified per hazard kind at structure granularity.
+type EdgeStats struct {
+	RAW int `json:"raw"` // read after write
+	WAR int `json:"war"` // write after read
+	WAW int `json:"waw"` // write after write
+}
+
+// Total returns the total number of hazard edges.
+func (e EdgeStats) Total() int { return e.RAW + e.WAR + e.WAW }
+
+// Case is one generated crosscheck input.
+type Case struct {
+	Seed      uint64
+	Name      string
+	Specs     []cp.StreamSpec
+	Placement cp.PagePlacement
+	Edges     EdgeStats
+}
+
+type genStruct struct {
+	ds      *kernels.DataStructure
+	scatter bool
+	read    bool // read by an earlier kernel of its stream
+	written bool // written by an earlier kernel of its stream
+}
+
+// Generate builds the case for seed under cfg's bounds.
+func Generate(seed uint64, cfg Config) *Case {
+	cfg = cfg.withDefaults()
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	alloc := kernels.NewAllocator(HeapBase, pageSize)
+
+	c := &Case{
+		Seed: seed,
+		Name: fmt.Sprintf("dag-%d", seed),
+	}
+	switch rnd.Intn(3) {
+	case 0:
+		c.Placement = cp.PlacementFirstTouch
+	case 1:
+		c.Placement = cp.PlacementInterleaved
+	default:
+		c.Placement = cp.PlacementSingle
+	}
+
+	nStreams := 1 + rnd.Intn(cfg.MaxStreams)
+	// Chiplet bindings: a single stream spans the whole GPU; multiple
+	// streams either all share it (maximum interleaving) or split it into
+	// disjoint contiguous sets (the paper's multi-stream study shape).
+	var bindings [][]int
+	if nStreams > 1 && rnd.Intn(2) == 0 && cfg.Chiplets >= nStreams {
+		per := cfg.Chiplets / nStreams
+		next := 0
+		for s := 0; s < nStreams; s++ {
+			n := per
+			if s == nStreams-1 {
+				n = cfg.Chiplets - next
+			}
+			set := make([]int, n)
+			for i := range set {
+				set[i] = next + i
+			}
+			bindings = append(bindings, set)
+			next += n
+		}
+	} else {
+		bindings = make([][]int, nStreams) // nil = all chiplets
+	}
+
+	for s := 0; s < nStreams; s++ {
+		w := c.genStream(rnd, cfg, alloc, s)
+		c.Specs = append(c.Specs, cp.StreamSpec{Workload: w, Chiplets: bindings[s]})
+	}
+	return c
+}
+
+// genStream builds one stream's workload, injecting hazard edges and
+// tallying them into c.Edges.
+func (c *Case) genStream(rnd *rand.Rand, cfg Config, alloc *kernels.Allocator, stream int) *kernels.Workload {
+	nStructs := 2 + rnd.Intn(cfg.MaxStructs-1)
+	structs := make([]*genStruct, nStructs)
+	for i := range structs {
+		bytes := (1 + rnd.Intn(16)) * pageSize
+		structs[i] = &genStruct{
+			ds:      alloc.Alloc(fmt.Sprintf("s%d.%d", stream, i), bytes/4, 4),
+			scatter: rnd.Intn(4) == 0,
+		}
+	}
+
+	w := &kernels.Workload{
+		Name: fmt.Sprintf("%s.s%d", c.Name, stream),
+		Seed: c.Seed*2654435761 + uint64(stream) + 1,
+	}
+	for _, s := range structs {
+		w.Structures = append(w.Structures, s.ds)
+	}
+
+	nKernels := 1 + rnd.Intn(cfg.MaxKernels)
+	for ki := 0; ki < nKernels; ki++ {
+		k := &kernels.Kernel{
+			Name:         fmt.Sprintf("%s.k%d", w.Name, ki),
+			WGs:          4 + rnd.Intn(128),
+			ComputePerWG: uint32(rnd.Intn(2000)),
+			MLPFactor:    0.5 + rnd.Float64()*2,
+		}
+		nArgs := 1 + rnd.Intn(4)
+		used := map[*genStruct]bool{}
+		for a := 0; a < nArgs; a++ {
+			s := c.pickStruct(rnd, structs)
+			// One argument per structure per kernel: a kernel both writing
+			// a structure and reading it across partition boundaries would
+			// be an intra-kernel data race, which DRF programs exclude.
+			if used[s] {
+				continue
+			}
+			used[s] = true
+			arg := c.genArg(rnd, s)
+			k.Args = append(k.Args, arg)
+
+			// Tally the hazard edge this access closes, then update the
+			// structure's history.
+			writes := arg.Mode == kernels.ReadWrite
+			reads := arg.Mode == kernels.Read || arg.ReadModifyWrite
+			if reads && s.written {
+				c.Edges.RAW++
+			}
+			if writes && s.read {
+				c.Edges.WAR++
+			}
+			if writes && s.written {
+				c.Edges.WAW++
+			}
+			s.read = s.read || reads
+			s.written = s.written || writes
+		}
+		w.Sequence = append(w.Sequence, k)
+	}
+	return w
+}
+
+// pickStruct biases toward structures with history, so later kernels close
+// hazard edges instead of touching fresh arrays.
+func (c *Case) pickStruct(rnd *rand.Rand, structs []*genStruct) *genStruct {
+	if rnd.Intn(4) != 0 { // 3/4 of draws prefer a structure with history
+		var touched []*genStruct
+		for _, s := range structs {
+			if s.read || s.written {
+				touched = append(touched, s)
+			}
+		}
+		if len(touched) > 0 {
+			return touched[rnd.Intn(len(touched))]
+		}
+	}
+	return structs[rnd.Intn(len(structs))]
+}
+
+// genArg draws an access annotation legal for s (scatter targets only take
+// atomic RMW scatters or linear reads, matching kernels.Validate and the
+// DRF invariant).
+func (c *Case) genArg(rnd *rand.Rand, s *genStruct) kernels.Arg {
+	arg := kernels.Arg{DS: s.ds}
+	if s.scatter {
+		if rnd.Intn(2) == 0 {
+			arg.Mode = kernels.ReadWrite
+			arg.Pattern = kernels.Indirect
+			arg.ReadModifyWrite = true
+			arg.WorkLinesPerWG = 1 + rnd.Intn(16)
+		} else {
+			arg.Mode = kernels.Read
+			arg.Pattern = kernels.Linear
+		}
+		return arg
+	}
+	switch rnd.Intn(6) {
+	case 0:
+		arg.Mode = kernels.Read
+		arg.Pattern = kernels.Linear
+	case 1:
+		arg.Mode = kernels.Read
+		arg.Pattern = kernels.Stencil
+		arg.HaloLines = 1 + rnd.Intn(4)
+	case 2:
+		arg.Mode = kernels.Read
+		arg.Pattern = kernels.Indirect
+		arg.TouchesPerLine = 1 + rnd.Intn(3)
+		arg.HotFraction = rnd.Float64()
+		arg.WorkLinesPerWG = 1 + rnd.Intn(16)
+	case 3:
+		arg.Mode = kernels.Read
+		arg.Pattern = kernels.Broadcast
+	default: // two weights: writes are what make hazards
+		arg.Mode = kernels.ReadWrite
+		arg.Pattern = kernels.Linear
+		arg.ReadModifyWrite = rnd.Intn(2) == 0
+	}
+	return arg
+}

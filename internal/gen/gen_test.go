@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, Config{})
+	b := Generate(42, Config{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different cases")
+	}
+	c := Generate(43, Config{})
+	if reflect.DeepEqual(a.Edges, c.Edges) && len(a.Specs) == len(c.Specs) &&
+		a.Specs[0].Workload.Name == c.Specs[0].Workload.Name {
+		t.Fatal("different seeds generated identical cases")
+	}
+}
+
+func TestGeneratedWorkloadsValidate(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		c := Generate(seed, Config{})
+		if len(c.Specs) == 0 {
+			t.Fatalf("seed %d: no streams", seed)
+		}
+		for _, spec := range c.Specs {
+			if err := spec.Workload.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid workload: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestGeneratedStreamsAreDisjoint(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		c := Generate(seed, Config{})
+		var bounds []mem.Range
+		for _, spec := range c.Specs {
+			bounds = append(bounds, spec.Workload.Bounds())
+		}
+		for i := range bounds {
+			for j := i + 1; j < len(bounds); j++ {
+				if bounds[i].Overlaps(bounds[j]) {
+					t.Fatalf("seed %d: streams %d and %d share allocations (%+v, %+v)",
+						seed, i, j, bounds[i], bounds[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedCasesContainHazardEdges(t *testing.T) {
+	// Individually a tiny case can be hazard-free; across a pool the edge
+	// injection must produce all three kinds in quantity.
+	var total EdgeStats
+	for seed := uint64(0); seed < 100; seed++ {
+		e := Generate(seed, Config{}).Edges
+		total.RAW += e.RAW
+		total.WAR += e.WAR
+		total.WAW += e.WAW
+	}
+	if total.RAW < 50 || total.WAR < 50 || total.WAW < 50 {
+		t.Fatalf("hazard edges too sparse over 100 cases: %+v", total)
+	}
+}
+
+func TestScatterInvariantHolds(t *testing.T) {
+	// A structure written atomically must never also be written through the
+	// write-back path (and vice versa) anywhere in the case.
+	for seed := uint64(0); seed < 200; seed++ {
+		c := Generate(seed, Config{})
+		scatter := map[*kernels.DataStructure]bool{}
+		wb := map[*kernels.DataStructure]bool{}
+		for _, spec := range c.Specs {
+			for _, k := range spec.Workload.Sequence {
+				for _, a := range k.Args {
+					if a.Mode != kernels.ReadWrite {
+						continue
+					}
+					if a.Pattern == kernels.Indirect {
+						scatter[a.DS] = true
+					} else {
+						wb[a.DS] = true
+					}
+				}
+			}
+		}
+		for ds := range scatter {
+			if wb[ds] {
+				t.Fatalf("seed %d: structure %s is both scatter target and write-back target", seed, ds.Name)
+			}
+		}
+	}
+}
+
+func TestChipletBindingsWithinRange(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		c := Generate(seed, Config{Chiplets: 4})
+		seenBound := map[int]bool{}
+		for _, spec := range c.Specs {
+			for _, ch := range spec.Chiplets {
+				if ch < 0 || ch >= 4 {
+					t.Fatalf("seed %d: chiplet %d out of range", seed, ch)
+				}
+				if seenBound[ch] {
+					t.Fatalf("seed %d: chiplet %d bound to two streams", seed, ch)
+				}
+				seenBound[ch] = true
+			}
+		}
+	}
+}

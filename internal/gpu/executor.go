@@ -31,6 +31,13 @@ type Executor struct {
 	// Sched selects the local CPs' WG-to-CU assignment policy.
 	Sched kernels.CUSchedule
 
+	// Obs, when non-nil, observes every launch boundary and the finalize
+	// boundary with the synchronization plan the executor is about to run.
+	// The consistency oracle attaches here; the hook sits after protocol
+	// plan construction and before plan execution, so observers see exactly
+	// what the CP decided (including any mutation-testing weakening).
+	Obs Observer
+
 	// latency is per-CU scratch, reused across kernels to avoid
 	// per-launch allocation.
 	latency []uint64
@@ -190,6 +197,9 @@ func (x *Executor) RunKernel(l *coherence.Launch, exposeCP bool) KernelResult {
 	}
 
 	plan := x.P.PreLaunch(l)
+	if x.Obs != nil {
+		x.Obs.OnLaunch(l, plan)
+	}
 	var res KernelResult
 	res.SyncCycles = x.ExecutePlan(plan)
 	if exposeCP {
@@ -331,7 +341,19 @@ func totalDRAM(m *machine.Machine) uint64 {
 // Finalize runs the protocol's end-of-program releases and returns the
 // exposed cycles.
 func (x *Executor) Finalize() uint64 {
-	cy := x.ExecutePlan(x.P.Finalize())
+	plan := x.P.Finalize()
+	if x.Obs != nil {
+		x.Obs.OnFinalize(plan)
+	}
+	cy := x.ExecutePlan(plan)
 	x.M.Sheet.Set(stats.StaleReads, x.M.Mem.StaleReads())
 	return cy
+}
+
+// Observer watches kernel and finalize boundaries. OnLaunch fires once per
+// launch with the plan the protocol produced, before the executor runs it;
+// OnFinalize fires once with the end-of-program release plan.
+type Observer interface {
+	OnLaunch(l *coherence.Launch, plan coherence.SyncPlan)
+	OnFinalize(plan coherence.SyncPlan)
 }

@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRangeSet drives RangeSet.Add with fuzzer-chosen range sequences and
+// checks the structural invariants every consumer relies on: the stored
+// ranges are sorted, pairwise disjoint and non-adjacent (maximally
+// coalesced), Size matches the union's true cardinality, and membership
+// queries agree with the inserted ranges.
+func FuzzRangeSet(f *testing.F) {
+	seed := func(vals ...uint64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	f.Add(seed(0, 64, 64, 128))            // adjacent: must coalesce
+	f.Add(seed(0, 100, 50, 150, 200, 300)) // overlap + gap
+	f.Add(seed(10, 10, 5, 3))              // empty and inverted ranges
+	f.Add(seed(0, 1<<40, 1<<20, 1<<21))    // containment
+	f.Add(seed(4096, 8192, 0, 4096, 2, 3)) // reverse-order adds
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s RangeSet
+		var added []Range
+		for len(data) >= 16 {
+			lo := Addr(binary.LittleEndian.Uint64(data) % (1 << 44))
+			hi := Addr(binary.LittleEndian.Uint64(data[8:]) % (1 << 44))
+			data = data[16:]
+			r := Range{Lo: lo, Hi: hi}
+			s.Add(r)
+			if !r.Empty() {
+				added = append(added, r)
+			}
+		}
+
+		rs := s.Ranges()
+		var total uint64
+		for i, r := range rs {
+			if r.Empty() {
+				t.Fatalf("stored empty range %v", r)
+			}
+			total += r.Size()
+			if i == 0 {
+				continue
+			}
+			prev := rs[i-1]
+			if prev.Lo > r.Lo {
+				t.Fatalf("unsorted: %v before %v", prev, r)
+			}
+			if prev.Overlaps(r) {
+				t.Fatalf("overlapping stored ranges: %v, %v", prev, r)
+			}
+			if prev.Adjacent(r) {
+				t.Fatalf("uncoalesced adjacent ranges: %v, %v", prev, r)
+			}
+		}
+		if s.Size() != total {
+			t.Fatalf("Size() = %d, stored sum %d", s.Size(), total)
+		}
+		if s.Empty() != (len(added) == 0) {
+			t.Fatalf("Empty() = %v with %d added ranges", s.Empty(), len(added))
+		}
+
+		// Every inserted range must be fully contained; endpoints just
+		// outside the union's bounds must not be.
+		for _, r := range added {
+			if !s.Contains(r.Lo) || !s.Contains(r.Hi-1) {
+				t.Fatalf("added range %v not contained in %v", r, s)
+			}
+			if !s.Overlaps(r) {
+				t.Fatalf("added range %v does not overlap %v", r, s)
+			}
+		}
+		if len(added) > 0 {
+			b := s.Bounds()
+			if b.Lo > 0 && s.Contains(b.Lo-1) {
+				t.Fatalf("contains below bounds: %v", b)
+			}
+			if s.Contains(b.Hi) {
+				t.Fatalf("contains at upper bound: %v", b)
+			}
+		}
+
+		// Clone must be equal and independent.
+		c := s.Clone()
+		if c.Size() != s.Size() || c.Len() != s.Len() {
+			t.Fatal("clone differs")
+		}
+		c.Add(Range{Lo: 1 << 50, Hi: 1<<50 + 64})
+		if s.Contains(1 << 50) {
+			t.Fatal("clone shares storage with original")
+		}
+	})
+}

@@ -21,10 +21,6 @@ type Memory struct {
 
 	staleReads uint64
 	lastStale  Addr
-
-	// OnStale, when set, is invoked on every staleness violation with the
-	// line address and the observed and latest versions (diagnostics).
-	OnStale func(line Addr, observed, latest uint32)
 }
 
 // NewMemory covers [base, base+size) with lines of lineSize bytes.
@@ -87,9 +83,6 @@ func (m *Memory) Observe(line Addr, ver uint32) bool {
 	if ver < m.latest[i] {
 		m.staleReads++
 		m.lastStale = line
-		if m.OnStale != nil {
-			m.OnStale(line, ver, m.latest[i])
-		}
 		return false
 	}
 	return true
@@ -105,6 +98,33 @@ func (m *Memory) LastStaleLine() Addr { return m.lastStale }
 
 // Lines returns the number of lines covered.
 func (m *Memory) Lines() int { return len(m.latest) }
+
+// ImageHash returns an FNV-1a digest of the full version image (latest and
+// committed, in line order). Two runs of the same workload under different
+// but correct protocols produce identical images: per-line store counts are
+// protocol-independent, and a correct finalize commits everything — so any
+// digest divergence means a protocol lost, reordered, or failed to write
+// back an update. The crosscheck campaign compares this across protocols.
+func (m *Memory) ImageHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime
+		}
+	}
+	for _, v := range m.latest {
+		mix(v)
+	}
+	for _, v := range m.committed {
+		mix(v)
+	}
+	return h
+}
 
 // Reset clears all versions and violations.
 func (m *Memory) Reset() {

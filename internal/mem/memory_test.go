@@ -92,18 +92,35 @@ func TestMemoryStalenessChecker(t *testing.T) {
 	if m.StaleReads() != 1 || m.LastStaleLine() != line {
 		t.Errorf("stale accounting: %d, %#x", m.StaleReads(), m.LastStaleLine())
 	}
-	var hooked Addr
-	m.OnStale = func(l Addr, obs, latest uint32) { hooked = l }
-	m.Observe(line, 0)
-	if hooked != line {
-		t.Error("OnStale hook not invoked")
-	}
 	if !m.Observe(line, 1) {
 		t.Error("current observation flagged stale")
 	}
 	m.Reset()
 	if m.StaleReads() != 0 || m.Latest(line) != 0 {
 		t.Error("Reset incomplete")
+	}
+}
+
+func TestMemoryImageHash(t *testing.T) {
+	a := NewMemory(0, 1<<12, 64)
+	b := NewMemory(0, 1<<12, 64)
+	if a.ImageHash() != b.ImageHash() {
+		t.Fatal("empty images differ")
+	}
+	a.Commit(0x40, a.Store(0x40))
+	if a.ImageHash() == b.ImageHash() {
+		t.Fatal("store did not change image hash")
+	}
+	b.Commit(0x40, b.Store(0x40))
+	if a.ImageHash() != b.ImageHash() {
+		t.Fatal("identical histories hash differently")
+	}
+	// An uncommitted store must diverge from a committed one: the hash
+	// covers both version arrays, so unreleased dirty data is visible.
+	a.Store(0x80)
+	b.Commit(0x80, b.Store(0x80))
+	if a.ImageHash() == b.ImageHash() {
+		t.Fatal("dirty vs committed images hash identically")
 	}
 }
 

@@ -1,0 +1,566 @@
+// Package oracle is a protocol-independent golden model of the scoped GPU
+// memory model the simulator implements. It consumes the launch/sync stream
+// the command processor actually produced — kernel launches with their
+// declared per-chiplet access ranges, plus the acquire/release operations the
+// CP chose to issue — and decides, from the memory-model rules alone, whether
+// any load could legally observe a stale value. It never looks at the cache
+// simulation, so it is an independent check on the protocols rather than a
+// restatement of them: if the CP elides an operation the happens-before order
+// required, the oracle flags it even when cache capacity or eviction luck
+// hides the staleness from the runtime version checker.
+//
+// The model follows the VIPER-chiplet invariants (DESIGN.md §3): only a
+// line's home chiplet ever caches it in L2 (remote reads are served by the
+// home L3 bank without local allocation; remote stores write through to the
+// home, committing at the ordering point without updating the home's L2
+// copy; atomics execute at the home L3 bank and bypass the L2s), and L1s are
+// invalidated at every kernel boundary while data-race freedom excludes
+// intra-kernel conflicts. Per tracked line that leaves exactly four facts:
+// who wrote it last, whether that write is still dirty in the home's L2,
+// whether the home may hold an L2 copy, and whether that copy is behind the
+// newest committed value. An epoch is the interval between two CP sync
+// decisions on a chiplet; the happens-before edges the oracle enforces are
+// exactly release(writer's chiplet) followed by acquire(reader's chiplet)
+// ordered through the L3.
+//
+// The oracle is deliberately stricter than the runtime checker in one way:
+// a dirty line stays dirty until an explicit release or acquire covers it.
+// The cache simulation may commit a dirty line early when capacity evicts it
+// (mem.CommitWriteback), which can mask an elided release at runtime; the CP
+// cannot rely on eviction luck, so the oracle does not either.
+//
+// Soundness of the declared-range granularity: the oracle reads the same
+// per-chiplet declared ranges the Chiplet Coherence Table does, and both
+// over-approximate actual caching the same way (a chiplet may cache any
+// locally homed line of its declared range). The CCT's elision decisions are
+// therefore checkable without false positives as long as the declarations
+// partition non-atomic writes between chiplets — true for exact annotations
+// (hipSetAccessModeRange and inferred annotations); the hipSetAccessMode
+// ablation (NoRangeInfo) declares whole-structure writes on every chiplet
+// and is rejected at Run time when an oracle is attached.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Model selects which memory-model rules apply to the protocol under check.
+type Model uint8
+
+const (
+	// BoundarySync models Baseline and CPElide: L2 visibility between
+	// chiplets exists only through explicit release/acquire pairs at kernel
+	// boundaries, so every cross-chiplet dependence must be covered by the
+	// CP's issued operations.
+	BoundarySync Model = iota
+	// HardwareCoherent models HMG, HMG-WB and RemoteBank: hardware keeps the
+	// L2s coherent at access granularity (sharer directories or remote-bank
+	// serving), so no boundary operation is ever required and the per-read
+	// checks are vacuous. The oracle still journals every boundary's plan so
+	// campaigns can compare sync footprints across protocols.
+	HardwareCoherent
+)
+
+func (m Model) String() string {
+	if m == HardwareCoherent {
+		return "hardware-coherent"
+	}
+	return "boundary-sync"
+}
+
+// Violation rules the oracle can report.
+const (
+	// RuleStaleLocalCopy: a chiplet read a line it may still cache while a
+	// newer committed write exists, and no acquire invalidated the copy — the
+	// missing-acquire violation.
+	RuleStaleLocalCopy = "stale-local-copy"
+	// RuleUnreleasedDirty: a chiplet read a remotely homed line from the
+	// ordering point while the home chiplet still holds a newer dirty
+	// version — the missing-release violation.
+	RuleUnreleasedDirty = "unreleased-dirty"
+	// RuleWAWLostUpdate: a remote write-through committed while the home
+	// still holds an older version dirty; the home's eventual writeback can
+	// resurrect the old data. The version checker's monotonic commit hides
+	// this at runtime, so only the oracle sees it.
+	RuleWAWLostUpdate = "waw-lost-update"
+	// RuleAtomicPastDirty: an atomic executed at the ordering point while
+	// the home held a newer version dirty in its L2, so the RMW read part
+	// observed a stale committed value.
+	RuleAtomicPastDirty = "atomic-past-dirty"
+	// RuleUnreleasedAtExit: dirty data survived the end-of-program release,
+	// so the host would read stale memory.
+	RuleUnreleasedAtExit = "unreleased-at-exit"
+)
+
+// Violation is one detected memory-model violation.
+type Violation struct {
+	Rule    string   `json:"rule"`
+	Line    mem.Addr `json:"line"`
+	Chiplet int      `json:"chiplet"` // the accessor that could see stale data
+	Home    int      `json:"home"`
+	Writer  int      `json:"writer"` // last writer of the line
+	Kernel  string   `json:"kernel"`
+	Stream  int      `json:"stream"`
+	Inst    int      `json:"inst"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: line %#x (home c%d, last writer c%d) accessed by c%d in %s (stream %d inst %d)",
+		v.Rule, v.Line, v.Home, v.Writer, v.Chiplet, v.Kernel, v.Stream, v.Inst)
+}
+
+// PlanOp is one executed synchronization operation, journaled per boundary.
+type PlanOp struct {
+	Chiplet int                `json:"chiplet"`
+	Kind    coherence.SyncKind `json:"kind"`
+	Ranged  bool               `json:"ranged,omitempty"`
+}
+
+// Boundary is the journal entry of one kernel boundary: the launch identity
+// plus the operations the CP actually executed there. The finalize boundary
+// uses Stream = -1, Inst = -1.
+type Boundary struct {
+	Stream int      `json:"stream"`
+	Inst   int      `json:"inst"`
+	Kernel string   `json:"kernel"`
+	Ops    []PlanOp `json:"ops,omitempty"`
+}
+
+// Summary is the campaign-friendly digest of one run's verdict.
+type Summary struct {
+	Model      string            `json:"model"`
+	Kernels    int               `json:"kernels"`
+	Violations uint64            `json:"violations"`
+	ByRule     map[string]uint64 `json:"by_rule,omitempty"`
+	SyncOps    int               `json:"sync_ops"`
+	// UnplacedSkips counts line checks skipped because the page had no home
+	// yet (possible only for structures never pre-placed; zero in practice).
+	UnplacedSkips uint64 `json:"unplaced_skips,omitempty"`
+	// OverlapWrites counts lines whose non-atomic write was declared by more
+	// than one chiplet in a single kernel — outside the oracle's precise
+	// model (see package comment); the last declaring chiplet wins.
+	OverlapWrites uint64 `json:"overlap_writes,omitempty"`
+}
+
+// lineState is the golden model's per-line knowledge. Only the home chiplet
+// can cache a line in L2 under VIPER-chiplet, so one copy bit suffices.
+type lineState struct {
+	home   int16
+	writer int16 // last writer chiplet, -1 if never written
+	dirty  bool  // last write still uncommitted in the home's L2
+	copy_  bool  // the home may hold an L2 copy
+	stale  bool  // that copy is older than the committed value
+}
+
+const maxDetails = 32
+
+// Oracle checks one run. Create with New, attach via Options.Oracle (the run
+// binds it), and query after the run. An oracle is single-use: binding it to
+// a second run is an error so stale verdicts can never be misread.
+type Oracle struct {
+	model    Model
+	chiplets int
+	lineSize mem.Addr
+	home     func(mem.Addr) int
+	rec      *trace.Recorder
+	bound    bool
+	done     bool
+
+	lines  map[mem.Addr]*lineState
+	byHome []map[mem.Addr]*lineState
+
+	kernels    int
+	syncOps    int
+	total      uint64
+	byRule     map[string]uint64
+	details    []Violation
+	boundaries []Boundary
+	unplaced   uint64
+	overlapW   uint64
+
+	// wset is per-launch scratch marking lines already written this kernel,
+	// used to detect multi-chiplet write declarations.
+	wset map[mem.Addr]int
+}
+
+// New returns an oracle applying the given model's rules.
+func New(model Model) *Oracle {
+	return &Oracle{
+		model:  model,
+		byRule: map[string]uint64{},
+		lines:  map[mem.Addr]*lineState{},
+	}
+}
+
+// Model returns the rule set the oracle was built with.
+func (o *Oracle) Model() Model { return o.model }
+
+// Bind attaches the oracle to a run: the machine shape, a page-home query
+// (never placing), and an optional trace recorder for violation events. The
+// run harness calls this; it fails on reuse.
+func (o *Oracle) Bind(chiplets, lineSize int, home func(mem.Addr) int, rec *trace.Recorder) error {
+	if o.bound {
+		return fmt.Errorf("oracle: already bound to a run (oracles are single-use)")
+	}
+	if chiplets < 1 {
+		return fmt.Errorf("oracle: need at least one chiplet")
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return fmt.Errorf("oracle: line size %d is not a power of two", lineSize)
+	}
+	o.bound = true
+	o.chiplets = chiplets
+	o.lineSize = mem.Addr(lineSize)
+	o.home = home
+	o.rec = rec
+	o.byHome = make([]map[mem.Addr]*lineState, chiplets)
+	for c := range o.byHome {
+		o.byHome[c] = map[mem.Addr]*lineState{}
+	}
+	o.wset = map[mem.Addr]int{}
+	return nil
+}
+
+// OnLaunch implements gpu.Observer: it is called once per kernel launch with
+// the synchronization plan the executor is about to run. The oracle applies
+// the plan's happens-before effects, then checks every declared read against
+// the pre-kernel state and applies the declared writes.
+func (o *Oracle) OnLaunch(l *coherence.Launch, plan coherence.SyncPlan) {
+	o.kernels++
+	o.journal(l.Stream, l.Inst, l.Kernel.Name, plan)
+	if o.model == HardwareCoherent {
+		return
+	}
+	o.applyPlan(plan)
+
+	// Reads first, all checked against pre-kernel write state: data-race
+	// freedom guarantees no intra-kernel write/read conflicts, so the reads
+	// of this kernel observe the epoch the plan established.
+	for ai := range l.Kernel.Args {
+		a := &l.Kernel.Args[ai]
+		atomic := a.Pattern == kernels.Indirect && a.Mode == kernels.ReadWrite
+		reads := a.Mode == kernels.Read || (a.Mode == kernels.ReadWrite && a.ReadModifyWrite && !atomic)
+		if !reads {
+			continue
+		}
+		for slot, c := range l.Chiplets {
+			o.checkReads(c, l.ArgRanges[ai][slot], l)
+		}
+	}
+	// Then writes and atomics.
+	clear(o.wset)
+	for ai := range l.Kernel.Args {
+		a := &l.Kernel.Args[ai]
+		if a.Mode != kernels.ReadWrite {
+			continue
+		}
+		atomic := a.Pattern == kernels.Indirect
+		for slot, c := range l.Chiplets {
+			if atomic {
+				o.applyAtomics(c, l.ArgRanges[ai][slot], l)
+			} else {
+				o.applyWrites(c, l.ArgRanges[ai][slot], l)
+			}
+		}
+	}
+}
+
+// OnFinalize implements gpu.Observer: the end-of-program release plan. After
+// applying it, any line still dirty is a violation — the host is about to
+// read device memory.
+func (o *Oracle) OnFinalize(plan coherence.SyncPlan) {
+	o.journal(-1, -1, "(finalize)", plan)
+	o.done = true
+	if o.model == HardwareCoherent {
+		return
+	}
+	o.applyPlan(plan)
+	for line, st := range o.lines {
+		if st.dirty {
+			o.violate(Violation{
+				Rule: RuleUnreleasedAtExit, Line: line,
+				Chiplet: -1, Home: int(st.home), Writer: int(st.writer),
+				Kernel: "(finalize)", Stream: -1, Inst: -1,
+			})
+		}
+	}
+}
+
+// journal records a boundary's executed operations.
+func (o *Oracle) journal(stream, inst int, kernel string, plan coherence.SyncPlan) {
+	b := Boundary{Stream: stream, Inst: inst, Kernel: kernel}
+	for _, op := range plan.Ops {
+		b.Ops = append(b.Ops, PlanOp{Chiplet: op.Chiplet, Kind: op.Kind, Ranged: !op.Ranges.Empty()})
+	}
+	o.syncOps += len(plan.Ops)
+	o.boundaries = append(o.boundaries, b)
+}
+
+// applyPlan applies the happens-before effects of the executed operations:
+// a release commits the chiplet's dirty lines to the ordering point; an
+// acquire additionally drops the chiplet's copies (the machine writes dirty
+// lines back before invalidating, so acquire subsumes release).
+func (o *Oracle) applyPlan(plan coherence.SyncPlan) {
+	for _, op := range plan.Ops {
+		c := op.Chiplet
+		if c < 0 || c >= o.chiplets {
+			continue
+		}
+		apply := func(st *lineState) {
+			st.dirty = false
+			if op.Kind == coherence.Acquire {
+				st.copy_ = false
+				st.stale = false
+			}
+		}
+		if op.Ranges.Empty() {
+			// Whole-cache operation: every tracked line homed on c.
+			for _, st := range o.byHome[c] {
+				apply(st)
+			}
+			continue
+		}
+		for _, r := range op.Ranges.Ranges() {
+			for line := r.Lo &^ (o.lineSize - 1); line < r.Hi; line += o.lineSize {
+				if st, ok := o.byHome[c][line]; ok {
+					apply(st)
+				}
+			}
+		}
+	}
+}
+
+// eachLine walks the line addresses of a declared range set.
+func (o *Oracle) eachLine(rs mem.RangeSet, fn func(mem.Addr)) {
+	for _, r := range rs.Ranges() {
+		for line := r.Lo &^ (o.lineSize - 1); line < r.Hi; line += o.lineSize {
+			fn(line)
+		}
+	}
+}
+
+// state returns the tracked state of line, creating it homed on h.
+func (o *Oracle) state(line mem.Addr, h int) *lineState {
+	if st, ok := o.lines[line]; ok {
+		return st
+	}
+	st := &lineState{home: int16(h), writer: -1}
+	o.lines[line] = st
+	o.byHome[h][line] = st
+	return st
+}
+
+// checkReads verifies chiplet r's declared reads of rs against the current
+// epoch and records the caching effect: the home chiplet retains an L2 copy
+// of every locally homed line it reads.
+func (o *Oracle) checkReads(r int, rs mem.RangeSet, l *coherence.Launch) {
+	o.eachLine(rs, func(line mem.Addr) {
+		h := o.home(line)
+		if h < 0 {
+			o.unplaced++
+			return
+		}
+		if r == h {
+			st := o.state(line, h)
+			if st.copy_ && st.stale {
+				o.violate(Violation{
+					Rule: RuleStaleLocalCopy, Line: line, Chiplet: r,
+					Home: h, Writer: int(st.writer),
+					Kernel: l.Kernel.Name, Stream: l.Stream, Inst: l.Inst,
+				})
+			}
+			// The home now holds a copy of what it read: its own (possibly
+			// dirty) L2 line, or a fresh fill from the ordering point.
+			st.copy_ = true
+			return
+		}
+		st, ok := o.lines[line]
+		if !ok {
+			return // never written, never cached: reads see the initial value
+		}
+		if st.dirty {
+			o.violate(Violation{
+				Rule: RuleUnreleasedDirty, Line: line, Chiplet: r,
+				Home: h, Writer: int(st.writer),
+				Kernel: l.Kernel.Name, Stream: l.Stream, Inst: l.Inst,
+			})
+		}
+	})
+}
+
+// applyWrites checks and applies chiplet w's declared non-atomic writes:
+// locally homed lines become dirty in w's L2; remotely homed lines write
+// through and commit, staling any copy the home retains.
+func (o *Oracle) applyWrites(w int, rs mem.RangeSet, l *coherence.Launch) {
+	o.eachLine(rs, func(line mem.Addr) {
+		h := o.home(line)
+		if h < 0 {
+			o.unplaced++
+			return
+		}
+		if prev, dup := o.wset[line]; dup && prev != w {
+			o.overlapW++
+		}
+		o.wset[line] = w
+		st := o.state(line, h)
+		if w == h {
+			st.writer = int16(w)
+			st.dirty = true
+			st.copy_ = true
+			st.stale = false
+			return
+		}
+		if st.dirty {
+			o.violate(Violation{
+				Rule: RuleWAWLostUpdate, Line: line, Chiplet: w,
+				Home: h, Writer: int(st.writer),
+				Kernel: l.Kernel.Name, Stream: l.Stream, Inst: l.Inst,
+			})
+		}
+		st.writer = int16(w)
+		st.dirty = false
+		if st.copy_ {
+			st.stale = true
+		}
+	})
+}
+
+// applyAtomics checks and applies atomic scatter updates: they execute at
+// the home L3 bank, committing immediately and bypassing every L2, so the
+// home's retained copy (if any) falls behind.
+func (o *Oracle) applyAtomics(c int, rs mem.RangeSet, l *coherence.Launch) {
+	o.eachLine(rs, func(line mem.Addr) {
+		h := o.home(line)
+		if h < 0 {
+			o.unplaced++
+			return
+		}
+		st := o.state(line, h)
+		if st.dirty {
+			o.violate(Violation{
+				Rule: RuleAtomicPastDirty, Line: line, Chiplet: c,
+				Home: h, Writer: int(st.writer),
+				Kernel: l.Kernel.Name, Stream: l.Stream, Inst: l.Inst,
+			})
+		}
+		st.writer = int16(c)
+		st.dirty = false
+		if st.copy_ {
+			st.stale = true
+		}
+	})
+}
+
+func (o *Oracle) violate(v Violation) {
+	o.total++
+	o.byRule[v.Rule]++
+	if len(o.details) < maxDetails {
+		o.details = append(o.details, v)
+		o.rec.Oracle(v.Chiplet, v.Rule, uint64(v.Line))
+	}
+}
+
+// Violations returns the total number of detected violations.
+func (o *Oracle) Violations() uint64 { return o.total }
+
+// ByRule returns violation counts per rule (shared map; do not mutate).
+func (o *Oracle) ByRule() map[string]uint64 { return o.byRule }
+
+// Details returns up to 32 individual violations for diagnostics.
+func (o *Oracle) Details() []Violation { return o.details }
+
+// Boundaries returns the per-boundary sync-operation journal, in execution
+// order, ending with the finalize boundary once the run completed.
+func (o *Oracle) Boundaries() []Boundary { return o.boundaries }
+
+// Kernels returns the number of launches observed.
+func (o *Oracle) Kernels() int { return o.kernels }
+
+// Err returns nil when the oracle saw no violation, or an error summarizing
+// what it caught.
+func (o *Oracle) Err() error {
+	if o.total == 0 {
+		return nil
+	}
+	rules := make([]string, 0, len(o.byRule))
+	for r := range o.byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, 0, len(rules))
+	for _, r := range rules {
+		parts = append(parts, fmt.Sprintf("%s=%d", r, o.byRule[r]))
+	}
+	first := ""
+	if len(o.details) > 0 {
+		first = "; first: " + o.details[0].String()
+	}
+	return fmt.Errorf("oracle: %d memory-model violation(s): %s%s",
+		o.total, strings.Join(parts, " "), first)
+}
+
+// Summary returns the campaign digest.
+func (o *Oracle) Summary() *Summary {
+	s := &Summary{
+		Model:         o.model.String(),
+		Kernels:       o.kernels,
+		Violations:    o.total,
+		SyncOps:       o.syncOps,
+		UnplacedSkips: o.unplaced,
+		OverlapWrites: o.overlapW,
+	}
+	if len(o.byRule) > 0 {
+		s.ByRule = make(map[string]uint64, len(o.byRule))
+		for k, v := range o.byRule {
+			s.ByRule[k] = v
+		}
+	}
+	return s
+}
+
+// SubsetOf verifies that o's per-boundary operations are a subset of ref's:
+// for every kernel boundary (keyed by stream and dynamic instance), each
+// (chiplet, kind) the checked run executed must also appear at the same
+// boundary of the reference run, at least as often. It returns the
+// boundaries that break the property. This is the CPElide-never-syncs-more-
+// than-Baseline assertion; launch identity is stable across protocols even
+// when multi-stream timing reorders execution.
+func (o *Oracle) SubsetOf(ref *Oracle) []Boundary {
+	type key struct{ stream, inst int }
+	refOps := make(map[key]map[PlanOp]int, len(ref.boundaries))
+	for _, b := range ref.boundaries {
+		m := refOps[key{b.Stream, b.Inst}]
+		if m == nil {
+			m = map[PlanOp]int{}
+			refOps[key{b.Stream, b.Inst}] = m
+		}
+		for _, op := range b.Ops {
+			op.Ranged = false // compare (chiplet, kind) only
+			m[op]++
+		}
+	}
+	var broken []Boundary
+	for _, b := range o.boundaries {
+		avail := refOps[key{b.Stream, b.Inst}]
+		used := map[PlanOp]int{}
+		ok := true
+		for _, op := range b.Ops {
+			op.Ranged = false
+			used[op]++
+			if used[op] > avail[op] {
+				ok = false
+			}
+		}
+		if !ok {
+			broken = append(broken, b)
+		}
+	}
+	return broken
+}

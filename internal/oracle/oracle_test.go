@@ -1,0 +1,249 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+const (
+	lineSize = 64
+	pageSize = 4096
+	nChip    = 4
+	base     = mem.Addr(0x1000_0000)
+)
+
+// homeByPage homes each 4 KiB page round-robin across the chiplets,
+// mirroring interleaved placement.
+func homeByPage(a mem.Addr) int {
+	return int((a - base) / pageSize % nChip)
+}
+
+// bound returns a BoundarySync oracle bound to the test machine shape.
+func bound(t *testing.T) *Oracle {
+	t.Helper()
+	o := New(BoundarySync)
+	if err := o.Bind(nChip, lineSize, homeByPage, nil); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// page returns the byte range of the i-th page (homed on chiplet i%4).
+func page(i int) mem.Range {
+	lo := base + mem.Addr(i)*pageSize
+	return mem.Range{Lo: lo, Hi: lo + pageSize}
+}
+
+// launch builds a single-arg launch: the kernel accesses r with the given
+// mode/pattern/rmw from each chiplet in chs (all declaring the same range,
+// like a whole-structure declaration scoped to one page).
+func launch(inst int, chs []int, mode kernels.AccessMode, pat kernels.Pattern, rmw bool, r mem.Range) *coherence.Launch {
+	k := &kernels.Kernel{
+		Name: "k",
+		Args: []kernels.Arg{{Mode: mode, Pattern: pat, ReadModifyWrite: rmw}},
+		WGs:  nChip,
+	}
+	l := &coherence.Launch{Kernel: k, Inst: inst, Chiplets: chs}
+	l.ArgRanges = make([][]mem.RangeSet, 1)
+	l.ArgRanges[0] = make([]mem.RangeSet, len(chs))
+	for slot := range chs {
+		l.ArgRanges[0][slot] = mem.NewRangeSet(r)
+	}
+	return l
+}
+
+func plan(ops ...coherence.SyncOp) coherence.SyncPlan {
+	return coherence.SyncPlan{Ops: ops}
+}
+
+func rel(c int) coherence.SyncOp { return coherence.SyncOp{Chiplet: c, Kind: coherence.Release} }
+func acq(c int) coherence.SyncOp { return coherence.SyncOp{Chiplet: c, Kind: coherence.Acquire} }
+
+func TestProducerConsumerWithReleaseIsClean(t *testing.T) {
+	o := bound(t)
+	// Chiplet 0 writes page 0 (homed on 0): dirty in its L2.
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	// Consumer on chiplet 1 after a release of chiplet 0: clean.
+	o.OnLaunch(launch(1, []int{1}, kernels.Read, kernels.Linear, false, page(0)), plan(rel(0)))
+	o.OnFinalize(plan())
+	if err := o.Err(); err != nil {
+		t.Fatalf("correct sequence flagged: %v", err)
+	}
+}
+
+func TestMissingReleaseDetected(t *testing.T) {
+	o := bound(t)
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	// Consumer with no release: every line read is an unreleased-dirty read.
+	o.OnLaunch(launch(1, []int{1}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	if o.Violations() == 0 {
+		t.Fatal("missing release not detected")
+	}
+	if o.ByRule()[RuleUnreleasedDirty] != pageSize/lineSize {
+		t.Errorf("unreleased-dirty = %d, want %d", o.ByRule()[RuleUnreleasedDirty], pageSize/lineSize)
+	}
+	if len(o.Details()) == 0 || o.Details()[0].Rule != RuleUnreleasedDirty {
+		t.Errorf("details = %+v", o.Details())
+	}
+}
+
+func TestMissingAcquireDetected(t *testing.T) {
+	o := bound(t)
+	// Chiplet 0 reads page 0 (its home): retains L2 copies.
+	o.OnLaunch(launch(0, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	// Chiplet 1 writes page 0 remotely: write-through stales chiplet 0's
+	// copies. No sync needed yet.
+	o.OnLaunch(launch(1, []int{1}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	if o.Violations() != 0 {
+		t.Fatalf("premature violation: %v", o.Err())
+	}
+	// Chiplet 0 reads again. Correct CP: acquire(0). Mutated: nothing.
+	o.OnLaunch(launch(2, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	if o.ByRule()[RuleStaleLocalCopy] == 0 {
+		t.Fatal("missing acquire not detected")
+	}
+
+	// Same sequence with the acquire: clean.
+	o2 := bound(t)
+	o2.OnLaunch(launch(0, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	o2.OnLaunch(launch(1, []int{1}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o2.OnLaunch(launch(2, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan(acq(0)))
+	o2.OnFinalize(plan())
+	if err := o2.Err(); err != nil {
+		t.Fatalf("acquired sequence flagged: %v", err)
+	}
+}
+
+func TestWAWLostUpdateDetected(t *testing.T) {
+	o := bound(t)
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	// Chiplet 1 overwrites page 0 remotely while chiplet 0's version is
+	// still dirty: the home's eventual writeback could resurrect old data.
+	o.OnLaunch(launch(1, []int{1}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	if o.ByRule()[RuleWAWLostUpdate] == 0 {
+		t.Fatal("WAW lost update not detected")
+	}
+}
+
+func TestAtomicPastDirtyDetected(t *testing.T) {
+	o := bound(t)
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	// Atomics execute at the home L3 bank; the RMW read sees the committed
+	// value, which is behind chiplet 0's dirty copy.
+	o.OnLaunch(launch(1, []int{1}, kernels.ReadWrite, kernels.Indirect, true, page(0)), plan())
+	if o.ByRule()[RuleAtomicPastDirty] == 0 {
+		t.Fatal("atomic past dirty not detected")
+	}
+
+	// With the release first, the same atomic is clean, and a home read
+	// after it must see the staled copy hazard only without an acquire.
+	o2 := bound(t)
+	o2.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o2.OnLaunch(launch(1, []int{1}, kernels.ReadWrite, kernels.Indirect, true, page(0)), plan(rel(0)))
+	if o2.Violations() != 0 {
+		t.Fatalf("released atomic flagged: %v", o2.Err())
+	}
+	o2.OnLaunch(launch(2, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	if o2.ByRule()[RuleStaleLocalCopy] == 0 {
+		t.Fatal("stale copy after atomic not detected")
+	}
+}
+
+func TestUnreleasedAtExitDetected(t *testing.T) {
+	o := bound(t)
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o.OnFinalize(plan())
+	if o.ByRule()[RuleUnreleasedAtExit] != pageSize/lineSize {
+		t.Fatalf("unreleased-at-exit = %d, want %d", o.ByRule()[RuleUnreleasedAtExit], pageSize/lineSize)
+	}
+
+	o2 := bound(t)
+	o2.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o2.OnFinalize(plan(rel(0)))
+	if err := o2.Err(); err != nil {
+		t.Fatalf("released exit flagged: %v", err)
+	}
+}
+
+func TestRangedReleaseCoversOnlyItsRanges(t *testing.T) {
+	o := bound(t)
+	full := page(0)
+	half := mem.Range{Lo: full.Lo, Hi: full.Lo + pageSize/2}
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, full), plan())
+	// Ranged release covering only the first half: reads of the second half
+	// are still unreleased-dirty.
+	rangedRel := coherence.SyncOp{Chiplet: 0, Kind: coherence.Release, Ranges: mem.NewRangeSet(half)}
+	o.OnLaunch(launch(1, []int{1}, kernels.Read, kernels.Linear, false, full), plan(rangedRel))
+	want := uint64(pageSize / 2 / lineSize)
+	if got := o.ByRule()[RuleUnreleasedDirty]; got != want {
+		t.Fatalf("unreleased-dirty = %d, want %d (uncovered half only)", got, want)
+	}
+}
+
+func TestHardwareCoherentModelIsVacuous(t *testing.T) {
+	o := New(HardwareCoherent)
+	if err := o.Bind(nChip, lineSize, homeByPage, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The boundary-sync poison sequence: write without release, read.
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o.OnLaunch(launch(1, []int{1}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	o.OnFinalize(plan())
+	if err := o.Err(); err != nil {
+		t.Fatalf("hardware-coherent model flagged boundary hazard: %v", err)
+	}
+	if len(o.Boundaries()) != 3 {
+		t.Errorf("boundaries journaled = %d, want 3 (2 launches + finalize)", len(o.Boundaries()))
+	}
+}
+
+func TestOracleIsSingleUse(t *testing.T) {
+	o := bound(t)
+	if err := o.Bind(nChip, lineSize, homeByPage, nil); err == nil {
+		t.Fatal("rebinding a bound oracle succeeded")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	baseline := bound(t)
+	elided := bound(t)
+	l := launch(0, []int{0, 1}, kernels.Read, kernels.Linear, false, page(0))
+	baseline.OnLaunch(l, plan(rel(0), acq(0), rel(1), acq(1)))
+	elided.OnLaunch(l, plan(rel(0)))
+	if broken := elided.SubsetOf(baseline); len(broken) != 0 {
+		t.Fatalf("subset violated: %+v", broken)
+	}
+	if broken := baseline.SubsetOf(elided); len(broken) == 0 {
+		t.Fatal("superset accepted as subset")
+	}
+
+	// An op the reference never issued at that boundary breaks the subset.
+	extra := bound(t)
+	extra.OnLaunch(launch(1, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan(acq(2)))
+	ref := bound(t)
+	ref.OnLaunch(launch(1, []int{0}, kernels.Read, kernels.Linear, false, page(0)), plan(rel(0)))
+	if broken := extra.SubsetOf(ref); len(broken) != 1 {
+		t.Fatalf("foreign op not flagged: %+v", broken)
+	}
+}
+
+func TestSummaryAndErr(t *testing.T) {
+	o := bound(t)
+	o.OnLaunch(launch(0, []int{0}, kernels.ReadWrite, kernels.Linear, false, page(0)), plan())
+	o.OnLaunch(launch(1, []int{1}, kernels.Read, kernels.Linear, false, page(0)), plan())
+	s := o.Summary()
+	if s.Violations == 0 || s.Kernels != 2 || s.Model != "boundary-sync" {
+		t.Fatalf("summary: %+v", s)
+	}
+	if o.Err() == nil {
+		t.Fatal("Err nil despite violations")
+	}
+	clean := bound(t)
+	clean.OnFinalize(plan())
+	if clean.Err() != nil || clean.Summary().Violations != 0 {
+		t.Fatal("clean run reported dirty")
+	}
+}

@@ -40,6 +40,10 @@ const (
 	// link-degradation window, table parity error, retry, degradation),
 	// recorded by the fault injector at the simulation clock where it fired.
 	KindFault
+	// KindOracle is one memory-model violation flagged by the golden-model
+	// consistency oracle (internal/oracle): a load that could legally have
+	// observed a stale value given the synchronization the CP issued.
+	KindOracle
 )
 
 func (k Kind) String() string {
@@ -56,6 +60,8 @@ func (k Kind) String() string {
 		return "job"
 	case KindFault:
 		return "fault"
+	case KindOracle:
+		return "oracle"
 	}
 	return "unknown"
 }
@@ -269,6 +275,19 @@ func (r *Recorder) Fault(chiplet int, name string, cycles uint64) {
 	r.push(Event{
 		Kind: KindFault, Chiplet: int32(chiplet), Name: name,
 		Ts: r.now, Cycles: cycles,
+	})
+}
+
+// Oracle records one memory-model violation from the consistency oracle:
+// rule names the violated rule, chiplet the accessor that could observe
+// stale data (-1 for end-of-program checks), and line the affected address.
+func (r *Recorder) Oracle(chiplet int, rule string, line uint64) {
+	if r == nil {
+		return
+	}
+	r.push(Event{
+		Kind: KindOracle, Chiplet: int32(chiplet), Name: rule,
+		Ts: r.now, Lines: line,
 	})
 }
 

@@ -1,0 +1,215 @@
+package cpelide
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workloads"
+)
+
+// mustWorkload builds one of the paper's benchmarks at the given scale.
+func mustWorkload(t *testing.T, name string, scale float64) *Workload {
+	t.Helper()
+	w, err := workloads.Build(name, NewAllocator(4096), workloads.Params{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// crosscheckProtocols is the differential campaign's protocol set (the
+// ISSUE-4 quartet; RemoteBank is covered by the fuzz matrix instead).
+var crosscheckProtocols = []Protocol{
+	ProtocolBaseline, ProtocolCPElide, ProtocolHMG, ProtocolHMGWriteBack,
+}
+
+// runCase runs one generated case under one protocol with an oracle
+// attached, asserting the run-level invariants that hold for every correct
+// protocol; it returns the report and the bound oracle.
+func runCase(t *testing.T, c *gen.Case, p Protocol, opt Options) (*Report, *Oracle) {
+	t.Helper()
+	opt.Protocol = p
+	opt.Placement = c.Placement
+	opt.Oracle = NewOracle(p)
+	rep, err := RunStreams(DefaultConfig(4), c.Specs, opt)
+	if err != nil {
+		t.Fatalf("%s / %v: %v", c.Name, p, err)
+	}
+	if err := rep.CheckConsistency(); err != nil {
+		t.Fatalf("%s / %v: runtime checker: %v", c.Name, p, err)
+	}
+	return rep, opt.Oracle
+}
+
+// TestCrosscheckCampaign is the in-tree slice of the differential campaign:
+// random DAGs under all four protocols, asserting (a) the oracle finds no
+// violation, (b) the final memory images are byte-identical across the
+// protocols, and (c) CPElide's boundary sync operations are a subset of
+// Baseline's. CI runs the full 500-DAG campaign through cmd/crosscheck.
+func TestCrosscheckCampaign(t *testing.T) {
+	n := uint64(60)
+	if testing.Short() {
+		n = 15
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := gen.Generate(seed, gen.Config{Chiplets: 4})
+			var baseRep *Report
+			var baseOracle *Oracle
+			for _, p := range crosscheckProtocols {
+				rep, o := runCase(t, c, p, Options{})
+				if err := o.Err(); err != nil {
+					t.Fatalf("%s / %v: %v", c.Name, p, err)
+				}
+				switch p {
+				case ProtocolBaseline:
+					baseRep, baseOracle = rep, o
+				default:
+					if rep.ImageHash != baseRep.ImageHash {
+						t.Fatalf("%s: memory image diverged: %v %#x vs Baseline %#x",
+							c.Name, p, rep.ImageHash, baseRep.ImageHash)
+					}
+				}
+				if p == ProtocolCPElide {
+					if broken := o.SubsetOf(baseOracle); len(broken) != 0 {
+						t.Fatalf("%s: CPElide issued ops Baseline did not: %+v", c.Name, broken)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrosscheckEvictionStress forces the Chiplet Coherence Table through
+// constant capacity evictions (3 rows, shrunken caches) — the regression
+// campaign for the eviction path: a victim whose copies outlive its row
+// would surface here as an oracle violation or a stale read.
+func TestCrosscheckEvictionStress(t *testing.T) {
+	n := uint64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := uint64(1000); seed < 1000+n; seed++ {
+		c := gen.Generate(seed, gen.Config{Chiplets: 4, MaxStructs: 7})
+		opt := Options{
+			Protocol:            ProtocolCPElide,
+			Placement:           c.Placement,
+			CPElideTableEntries: 3,
+			Oracle:              NewOracle(ProtocolCPElide),
+		}
+		cfg := DefaultConfig(4)
+		cfg.L2SizeBytes = 256 << 10
+		cfg.L3SizeBytes = 512 << 10
+		rep, err := RunStreams(cfg, c.Specs, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := rep.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := opt.Oracle.Err(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestMutationTeeth proves the oracle has teeth: each deliberate CP
+// weakening must be caught. Ground truth for "the mutation actually broke
+// this case" is the runtime checker (stale reads) or a memory-image
+// divergence against the unmutated run; the oracle must flag every such
+// case (zero false negatives) and must fire on at least a third of the
+// campaign per mutation kind.
+func TestMutationTeeth(t *testing.T) {
+	n := uint64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for _, mut := range []Mutation{MutateDropAcquire, MutateDropRelease, MutateWrongChiplet} {
+		mut := mut
+		t.Run(mut.String(), func(t *testing.T) {
+			detected, broken := 0, 0
+			for seed := uint64(0); seed < n; seed++ {
+				c := gen.Generate(seed, gen.Config{Chiplets: 4})
+				clean, err := RunStreams(DefaultConfig(4), c.Specs,
+					Options{Protocol: ProtocolCPElide, Placement: c.Placement})
+				if err != nil {
+					t.Fatal(err)
+				}
+				o := NewOracle(ProtocolCPElide)
+				rep, err := RunStreams(DefaultConfig(4), c.Specs, Options{
+					Protocol:  ProtocolCPElide,
+					Placement: c.Placement,
+					Oracle:    o,
+					Mutate:    mut,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hurt := rep.StaleReads > 0 || rep.ImageHash != clean.ImageHash
+				if hurt {
+					broken++
+					if o.Violations() == 0 {
+						t.Fatalf("%s: false negative: mutation %s broke the run "+
+							"(stale=%d, image %#x vs %#x) but the oracle saw nothing",
+							c.Name, mut, rep.StaleReads, rep.ImageHash, clean.ImageHash)
+					}
+				}
+				if o.Violations() > 0 {
+					detected++
+				}
+			}
+			if detected == 0 {
+				t.Fatalf("mutation %s never detected across %d DAGs", mut, n)
+			}
+			if detected < int(n)/3 {
+				t.Errorf("mutation %s detected in only %d/%d DAGs", mut, detected, n)
+			}
+			t.Logf("%s: oracle fired on %d/%d DAGs (%d provably broken)", mut, detected, n, broken)
+		})
+	}
+}
+
+// TestOracleRejectsNoRangeInfo: whole-structure declarations make the last
+// writer ambiguous, so attaching an oracle to such a run must error rather
+// than risk false verdicts.
+func TestOracleRejectsNoRangeInfo(t *testing.T) {
+	c := gen.Generate(7, gen.Config{Chiplets: 4})
+	_, err := RunStreams(DefaultConfig(4), c.Specs, Options{
+		Protocol:    ProtocolCPElide,
+		NoRangeInfo: true,
+		Oracle:      NewOracle(ProtocolCPElide),
+	})
+	if err == nil {
+		t.Fatal("oracle accepted a NoRangeInfo run")
+	}
+}
+
+// TestOracleOnPaperWorkloads attaches the oracle to a few of the paper's
+// real benchmarks, under both annotation styles the oracle supports.
+func TestOracleOnPaperWorkloads(t *testing.T) {
+	for _, name := range []string{"hotspot", "color", "pennant"} {
+		for _, infer := range []bool{false, true} {
+			w := mustWorkload(t, name, 0.25)
+			o := NewOracle(ProtocolCPElide)
+			rep, err := Run(DefaultConfig(4), w, Options{
+				Protocol:         ProtocolCPElide,
+				InferAnnotations: infer,
+				Oracle:           o,
+			})
+			if err != nil {
+				t.Fatalf("%s infer=%v: %v", name, infer, err)
+			}
+			if err := rep.CheckConsistency(); err != nil {
+				t.Fatalf("%s infer=%v: %v", name, infer, err)
+			}
+			if err := o.Err(); err != nil {
+				t.Fatalf("%s infer=%v: %v", name, infer, err)
+			}
+			if rep.Oracle == nil || rep.Oracle.Kernels == 0 {
+				t.Fatalf("%s infer=%v: report oracle summary missing", name, infer)
+			}
+		}
+	}
+}

@@ -1,62 +1,33 @@
 package cpelide
 
 import (
-	"fmt"
 	"testing"
-
-	"repro/internal/core"
-	"repro/internal/cp"
-	"repro/internal/gpu"
-	"repro/internal/machine"
-	"repro/internal/mem"
-	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
-// TestStaleDebug is a diagnostic harness: it runs one workload under
-// CPElide with per-kernel stale-read attribution. Enabled manually while
-// hunting coherence bugs; kept because it prints nothing when healthy.
+// TestStaleDebug is a diagnostic harness: it runs staleness-prone workloads
+// under CPElide with the consistency oracle attached and reports both
+// verdicts — the runtime staleness checker's and the oracle's — with the
+// oracle's per-rule attribution (rule, line, home/writer/accessor chiplets,
+// kernel) when either fires. Kept because it prints nothing when healthy
+// and localizes the failing happens-before edge when not.
 func TestStaleDebug(t *testing.T) {
 	for _, name := range []string{"hotspot", "hacc", "color", "pennant"} {
-		alloc := NewAllocator(4096)
-		w, err := workloads.Build(name, alloc, workloads.Params{Scale: 0.25})
+		w := mustWorkload(t, name, 0.25)
+		o := NewOracle(ProtocolCPElide)
+		rep, err := Run(DefaultConfig(4), w, Options{
+			Protocol: ProtocolCPElide,
+			Oracle:   o,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := DefaultConfig(4)
-		sheet := stats.New()
-		m := machine.New(cfg, w.Bounds(), sheet)
-		proto, err := core.New(m)
-		if err != nil {
-			t.Fatal(err)
+		if rep.StaleReads == 0 && o.Violations() == 0 {
+			continue
 		}
-		x := gpu.New(m, proto, w.Seed)
-
-		cur := "?"
-		reported := 0
-		m.Mem.OnStale = func(line mem.Addr, obs, latest uint32) {
-			if reported >= 3 {
-				return
-			}
-			reported++
-			ds := "?"
-			for _, d := range w.Structures {
-				if d.Range().Contains(line) {
-					ds = d.Name
-				}
-			}
-			t.Errorf("%s: stale read in kernel %s: line %#x (struct %s, off %d) observed v%d latest v%d\n%s",
-				name, cur, line, ds, line-HeapBase, obs, latest, proto.Table)
-		}
-
-		chs := []int{0, 1, 2, 3}
-		for inst, k := range w.Sequence {
-			l := cp.BuildLaunch(k, inst, 0, chs, cfg.LineSize, true)
-			cur = fmt.Sprintf("#%d %s", inst, k.Name)
-			x.RunKernel(l, inst == 0)
-			if reported >= 3 {
-				break
-			}
+		t.Errorf("%s: runtime checker: %d stale reads; oracle: %v",
+			name, rep.StaleReads, o.ByRule())
+		for _, v := range o.Details() {
+			t.Errorf("%s: %v", name, v)
 		}
 	}
 }
