@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint cpelint fmt
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector, mirroring CI: the
+# farm's single-flight dedup and backpressure, the event engine the whole
+# simulation core schedules through, and the HTTP server's drain path.
+race:
+	$(GO) test -race -count=1 -timeout 15m ./internal/farm/... ./internal/event/... ./cmd/cpelide-server/...
+
+# lint = the repo's static gates: the cpelint pass suite (DESIGN §12), go
+# vet, and gofmt. staticcheck runs in CI where it can be installed.
+lint: cpelint
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+cpelint:
+	$(GO) run ./cmd/cpelint ./...
+
+fmt:
+	gofmt -w .

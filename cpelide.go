@@ -500,7 +500,10 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 	}
 
 	sheet := stats.New()
-	m := machine.New(cfg, bounds, sheet)
+	m, err := machine.New(cfg, bounds, sheet)
+	if err != nil {
+		return nil, err
+	}
 	m.Trace = opt.Trace
 	var injector *faults.Injector
 	if opt.Faults.Enabled() {
@@ -521,11 +524,15 @@ func RunStreamsContext(ctx context.Context, cfg Config, specs []StreamSpec, opt 
 		}
 		proto = p
 	case ProtocolHMG, ProtocolHMGWriteBack:
-		proto = hmg.New(m, hmg.Options{
+		p, err := hmg.New(m, hmg.Options{
 			WriteBack:     opt.Protocol == ProtocolHMGWriteBack,
 			DirEntries:    opt.HMGDirEntries,
 			LinesPerEntry: opt.HMGDirLinesPerEntry,
 		})
+		if err != nil {
+			return nil, err
+		}
+		proto = p
 	case ProtocolRemoteBank:
 		proto = coherence.NewRemoteBank(m)
 	default:

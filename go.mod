@@ -1,3 +1,11 @@
 module repro
 
 go 1.22
+
+// Pinned for cmd/cpelint: the pass suite is written against the go/analysis
+// vocabulary and can be rebased onto the real golang.org/x/tools/go/analysis
+// framework at exactly this version once the build environment allows
+// downloading it. Nothing imports the module yet — internal/analysis is a
+// dependency-free reimplementation of the subset cpelint needs — so builds
+// never fetch it.
+require golang.org/x/tools v0.24.0

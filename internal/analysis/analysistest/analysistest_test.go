@@ -1,0 +1,79 @@
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type recorder struct{ errs []string }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, format)
+}
+
+func diag(file string, line int, msg string) analysis.UnitDiagnostic {
+	return analysis.UnitDiagnostic{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: file, Line: line},
+		Message:  msg,
+	}
+}
+
+func TestMatchWantsDetectsUnexpectedDiagnostic(t *testing.T) {
+	var r recorder
+	matchWants(&r, []analysis.UnitDiagnostic{diag("f.go", 3, "boom")}, nil)
+	if len(r.errs) != 1 || !strings.Contains(r.errs[0], "unexpected diagnostic") {
+		t.Fatalf("errs = %q, want one unexpected-diagnostic error", r.errs)
+	}
+}
+
+func TestMatchWantsDetectsUnmatchedWant(t *testing.T) {
+	var r recorder
+	w, err := parsePatterns("`never fires`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []*want{{file: "f.go", line: 3, re: mustCompile(t, w[0]), raw: w[0]}}
+	matchWants(&r, nil, wants)
+	if len(r.errs) != 1 || !strings.Contains(r.errs[0], "no diagnostic matching") {
+		t.Fatalf("errs = %q, want one unmatched-want error", r.errs)
+	}
+}
+
+func TestMatchWantsPairsDiagnosticsOneToOne(t *testing.T) {
+	var r recorder
+	wants := []*want{{file: "f.go", line: 3, re: mustCompile(t, "dup"), raw: "dup"}}
+	diags := []analysis.UnitDiagnostic{diag("f.go", 3, "dup"), diag("f.go", 3, "dup")}
+	matchWants(&r, diags, wants)
+	if len(r.errs) != 1 {
+		t.Fatalf("errs = %q, want exactly one (second diagnostic unmatched)", r.errs)
+	}
+}
+
+func TestParsePatterns(t *testing.T) {
+	got, err := parsePatterns("`one` `two words`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two words" {
+		t.Fatalf("patterns = %q", got)
+	}
+	for _, bad := range []string{"", "unquoted", "`open"} {
+		if _, err := parsePatterns(bad); err == nil {
+			t.Errorf("parsePatterns(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func mustCompile(t *testing.T, pat string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression directive:
+//
+//	//cpelint:ignore <pass> <reason>
+//
+// A well-formed directive names one analyzer of the suite and carries a
+// non-empty reason, and suppresses that analyzer's diagnostics on the
+// directive's own line (end-of-line comment) or on the line immediately
+// below (standalone comment). Directives without a reason, naming an
+// unknown pass, or suppressing nothing are diagnostics themselves — the
+// escape hatch must document why it exists and must not outlive its
+// finding.
+const IgnorePrefix = "//cpelint:ignore"
+
+// An IgnoreDirective is one parsed //cpelint:ignore comment.
+type IgnoreDirective struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Pass   string // analyzer name; may be unknown (ignores pass flags it)
+	Reason string // may be empty (ignores pass flags it)
+}
+
+// WellFormed reports whether the directive names a known pass and carries a
+// reason. Only well-formed directives suppress diagnostics: a malformed one
+// must be fixed, not honored.
+func (d IgnoreDirective) WellFormed() bool {
+	return KnownPass(d.Pass) && d.Reason != ""
+}
+
+// ParseIgnore parses one comment's text as an ignore directive. The second
+// result is false when the comment is not a directive at all.
+func ParseIgnore(text string) (pass, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, IgnorePrefix)
+	if !ok {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false // e.g. //cpelint:ignorexyz
+	}
+	// An analysistest fixture may carry its own expectation after the
+	// directive ("//cpelint:ignore errpanic reason // want `...`"); the
+	// expectation is not part of the reason.
+	if i := strings.Index(rest, "// want"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// CollectIgnores extracts every //cpelint:ignore directive from the unit's
+// comments, well-formed or not.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) []IgnoreDirective {
+	var out []IgnoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pass, reason, ok := ParseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, IgnoreDirective{
+					Pos:    c.Pos(),
+					File:   p.Filename,
+					Line:   p.Line,
+					Pass:   pass,
+					Reason: reason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyIgnores filters diags through the unit's directives. It returns the
+// surviving diagnostics and the well-formed directives that suppressed
+// nothing (the drivers report those as suppression-hygiene findings).
+// Malformed directives never suppress and are never "unused" — the ignores
+// analyzer already flags their form.
+func ApplyIgnores(diags []UnitDiagnostic, ignores []IgnoreDirective) (kept []UnitDiagnostic, unused []IgnoreDirective) {
+	used := make([]bool, len(ignores))
+	for _, d := range diags {
+		suppressed := false
+		for i, ig := range ignores {
+			if !ig.WellFormed() || ig.Pass != d.Analyzer || ig.File != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == ig.Line || d.Pos.Line == ig.Line+1 {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i, ig := range ignores {
+		if ig.WellFormed() && !used[i] {
+			unused = append(unused, ig)
+		}
+	}
+	return kept, unused
+}

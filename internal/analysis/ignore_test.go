@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text         string
+		pass, reason string
+		ok           bool
+	}{
+		{"//cpelint:ignore errpanic demo code", "errpanic", "demo code", true},
+		{"//cpelint:ignore errpanic", "errpanic", "", true},
+		{"//cpelint:ignore", "", "", true},
+		{"//cpelint:ignore determinism multi word reason", "determinism", "multi word reason", true},
+		{"//cpelint:ignore errpanic reason // want `x`", "errpanic", "reason", true},
+		{"//cpelint:ignorexyz foo", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		pass, reason, ok := ParseIgnore(c.text)
+		if pass != c.pass || reason != c.reason || ok != c.ok {
+			t.Errorf("ParseIgnore(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, pass, reason, ok, c.pass, c.reason, c.ok)
+		}
+	}
+}
+
+func TestApplyIgnores(t *testing.T) {
+	d := func(pass, file string, line int) UnitDiagnostic {
+		return UnitDiagnostic{Analyzer: pass, Pos: token.Position{Filename: file, Line: line}}
+	}
+	ig := func(pass, reason, file string, line int) IgnoreDirective {
+		return IgnoreDirective{File: file, Line: line, Pass: pass, Reason: reason}
+	}
+
+	// Suppresses on the directive's own line and the line below, same pass
+	// and file only.
+	diags := []UnitDiagnostic{
+		d("errpanic", "a.go", 10),    // same line as directive
+		d("errpanic", "a.go", 11),    // line below directive
+		d("errpanic", "a.go", 12),    // out of range
+		d("determinism", "a.go", 10), // wrong pass
+		d("errpanic", "b.go", 10),    // wrong file
+	}
+	kept, unused := ApplyIgnores(diags, []IgnoreDirective{ig("errpanic", "reason", "a.go", 10)})
+	if len(kept) != 3 {
+		t.Errorf("kept = %v, want 3 surviving diagnostics", kept)
+	}
+	if len(unused) != 0 {
+		t.Errorf("unused = %v, want none (directive suppressed two findings)", unused)
+	}
+
+	// A malformed directive (no reason) never suppresses and is never
+	// reported as unused — the ignores pass flags its form instead.
+	kept, unused = ApplyIgnores(diags[:1], []IgnoreDirective{ig("errpanic", "", "a.go", 10)})
+	if len(kept) != 1 || len(unused) != 0 {
+		t.Errorf("malformed directive: kept %d unused %d, want 1 and 0", len(kept), len(unused))
+	}
+
+	// A well-formed directive that suppresses nothing is unused.
+	_, unused = ApplyIgnores(nil, []IgnoreDirective{ig("errpanic", "stale", "a.go", 10)})
+	if len(unused) != 1 {
+		t.Errorf("unused = %v, want the stale directive", unused)
+	}
+}
+
+func TestLangVersionBefore(t *testing.T) {
+	cases := []struct {
+		v     string
+		minor int
+		want  bool
+	}{
+		{"go1.21", 22, true},
+		{"go1.21.3", 22, true},
+		{"go1.21rc1", 22, true},
+		{"go1.22", 22, false},
+		{"go1.23", 22, false},
+		{"", 22, false},
+		{"weird", 22, false},
+	}
+	for _, c := range cases {
+		if got := LangVersionBefore(c.v, c.minor); got != c.want {
+			t.Errorf("LangVersionBefore(%q, %d) = %v, want %v", c.v, c.minor, got, c.want)
+		}
+	}
+}
+
+func TestKnownPass(t *testing.T) {
+	for _, n := range PassNames {
+		if !KnownPass(n) {
+			t.Errorf("KnownPass(%q) = false", n)
+		}
+	}
+	if KnownPass("nosuchpass") {
+		t.Error(`KnownPass("nosuchpass") = true`)
+	}
+}

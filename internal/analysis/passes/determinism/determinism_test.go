@@ -1,0 +1,21 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/ignores"
+)
+
+func TestSimCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "cp", determinism.Analyzer)
+}
+
+func TestNonCriticalPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", "notsim", determinism.Analyzer)
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	analysistest.Run(t, "testdata", "gen", determinism.Analyzer, ignores.Analyzer)
+}

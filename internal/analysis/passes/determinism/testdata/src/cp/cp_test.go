@@ -1,0 +1,10 @@
+package cp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockAllowed(t *testing.T) {
+	_ = time.Now() // test files are exempt from the determinism pass
+}

@@ -1,0 +1,18 @@
+// Package gen exercises //cpelint:ignore suppression against a real
+// determinism finding: the directive absorbs the diagnostic on the next
+// line, and because it suppressed something it is not an unused directive.
+package gen
+
+import "time"
+
+// BuildStamp may read the wall clock: it is advisory metadata that never
+// feeds a simulation result.
+func BuildStamp() time.Time {
+	//cpelint:ignore determinism advisory metadata, never feeds results
+	return time.Now()
+}
+
+// Unstamped shows the finding the directive above would have produced.
+func Unstamped() time.Time {
+	return time.Now() // want `time\.Now in simulation-critical package gen`
+}

@@ -1,0 +1,15 @@
+// Package notsim is not simulation-critical (its base name is not in
+// determinism.SimCritical): the farm and server legitimately read the wall
+// clock for timeouts and jitter, so nothing here is a finding.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter returns a random backoff, as the farm's retry loop does.
+func Jitter() time.Duration { return time.Duration(rand.Intn(50)) * time.Millisecond }
+
+// Now reads the wall clock.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,63 @@
+// Package errpanic implements the cpelint pass that enforces the
+// errors-not-panics convention established in the robustness PR (DESIGN §10):
+// library code under internal/ returns sentinel-wrapped errors
+// (ErrJobTimeout-style) instead of panicking, so the experiment farm, the
+// HTTP server, and embedding simulations surface failures as run errors
+// rather than dead workers. Test files and package-main entry points are
+// exempt: a test may panic to abort, and a main may os.Exit after printing.
+package errpanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errpanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpanic",
+	Doc: "forbid panic, log.Fatal*, log.Panic*, and os.Exit in library code; " +
+		"return sentinel-wrapped errors instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // cmd/ entry points may exit; the lint guards libraries
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(),
+						"panic in library code: return an error (sentinel conventions, DESIGN §10/§12) so callers degrade instead of crashing")
+					return true
+				}
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "log" &&
+				(strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")):
+				pass.Reportf(call.Pos(),
+					"log.%s in library code terminates or panics the process: return an error instead", fn.Name())
+			case analysis.IsPkgFunc(fn, "os", "Exit"):
+				pass.Reportf(call.Pos(),
+					"os.Exit in library code kills the process (and skips deferred cleanup): return an error instead")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package errpanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/errpanic"
+)
+
+func TestLibraryCode(t *testing.T) {
+	analysistest.Run(t, "testdata", "lib", errpanic.Analyzer)
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", "cmd/x", errpanic.Analyzer)
+}

@@ -1,0 +1,18 @@
+// Command x is a fixture entry point: package main may exit or panic after
+// reporting, so nothing here is a finding.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("mains may exit")
+	}
+	if len(os.Args) > 2 {
+		os.Exit(1)
+	}
+	panic("mains may panic")
+}

@@ -1,0 +1,35 @@
+// Package lib is internal library code: terminating calls are findings, and
+// the sentinel-error convention is the accepted shape.
+package lib
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+// ErrBad is the package's sentinel, the shape the pass steers toward.
+var ErrBad = errors.New("lib: bad")
+
+// Do returns a wrapped sentinel on failure — the accepted idiom.
+func Do(ok bool) error {
+	if !ok {
+		return fmt.Errorf("%w: not ok", ErrBad)
+	}
+	return nil
+}
+
+func crash(ok bool) {
+	if !ok {
+		panic("boom") // want `panic in library code`
+	}
+}
+
+func logs() {
+	log.Fatal("x")        // want `log\.Fatal in library code`
+	log.Fatalf("x %d", 1) // want `log\.Fatalf in library code`
+	log.Panicln("x")      // want `log\.Panicln in library code`
+	log.Printf("fine")    // non-terminating logging is allowed
+	os.Exit(2)            // want `os\.Exit in library code`
+}

@@ -1,0 +1,27 @@
+// Package loop exercises the pre-Go-1.22 loop-variable capture rule: the
+// test checks this fixture under GoVersion go1.21, where every iteration
+// shares one variable. Package loop122 holds the same code checked under
+// go1.22, where per-iteration variables make it safe.
+package loop
+
+import "event"
+
+func fanout(e *event.Engine, ks []int) {
+	for _, k := range ks {
+		_ = e.Schedule(1, event.HandlerFunc(func(ev event.Event) {
+			_ = k // want `handler closure captures loop variable "k"`
+		}), nil)
+	}
+
+	for i := 0; i < len(ks); i++ {
+		_ = e.ScheduleAfter(1, event.HandlerFunc(func(ev event.Event) {
+			_ = i // want `handler closure captures loop variable "i"`
+		}), nil)
+	}
+
+	// Copying to a local before capture is the classic fix.
+	for _, k := range ks {
+		k := k
+		_ = e.Schedule(1, event.HandlerFunc(func(ev event.Event) { _ = k }), nil)
+	}
+}

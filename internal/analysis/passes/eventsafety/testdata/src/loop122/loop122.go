@@ -1,0 +1,20 @@
+// Package loop122 is the loop fixture under go1.22 semantics: range and for
+// loops declare a fresh variable per iteration, so capturing one in a
+// handler closure is safe and must not be flagged.
+package loop122
+
+import "event"
+
+func fanout(e *event.Engine, ks []int) {
+	for _, k := range ks {
+		_ = e.Schedule(1, event.HandlerFunc(func(ev event.Event) {
+			_ = k
+		}), nil)
+	}
+
+	for i := 0; i < len(ks); i++ {
+		_ = e.ScheduleAfter(1, event.HandlerFunc(func(ev event.Event) {
+			_ = i
+		}), nil)
+	}
+}

@@ -1,0 +1,21 @@
+// Package sched exercises the eventsafety delay rules: unsigned subtraction
+// that can underflow event.Time, and signed values converted at a
+// ScheduleAfter call site.
+package sched
+
+import "event"
+
+func delays(e *event.Engine, now, deadline event.Time, delta int) {
+	_ = e.ScheduleAfter(deadline-now, nil, nil) // want `unsigned subtraction in a ScheduleAfter time argument`
+	_ = e.Schedule(now-1, nil, nil)             // want `unsigned subtraction in a Schedule time argument`
+
+	_ = e.ScheduleAfter(event.Time(delta), nil, nil) // want `signed value converted to event\.Time in a ScheduleAfter delay`
+
+	// Absolute times are routinely built from validated signed config
+	// values; only delta arguments are checked.
+	_ = e.Schedule(event.Time(delta), nil, nil)
+
+	// Provably non-negative constants and addition are safe.
+	_ = e.ScheduleAfter(event.Time(4), nil, nil)
+	_ = e.ScheduleAfter(deadline+1, nil, nil)
+}

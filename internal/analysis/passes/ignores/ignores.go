@@ -1,0 +1,39 @@
+// Package ignores implements the cpelint suppression-hygiene pass: every
+// //cpelint:ignore directive must name a real pass and carry a reason, so an
+// escape hatch always documents why the invariant does not apply. The
+// companion check — a well-formed directive that suppresses nothing is
+// itself a finding — lives in the driver (analysis.RunUnit), because only
+// the driver sees which diagnostics a directive absorbed.
+package ignores
+
+import (
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ignores (suppression hygiene) pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ignores",
+	Doc:  "require //cpelint:ignore directives to name a known pass and carry a reason; unused directives are findings",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, ig := range analysis.CollectIgnores(pass.Fset, pass.Files) {
+		switch {
+		case ig.Pass == "":
+			pass.Reportf(ig.Pos,
+				"malformed cpelint:ignore directive: want %q", analysis.IgnorePrefix+" <pass> <reason>")
+		case !analysis.KnownPass(ig.Pass):
+			pass.Reportf(ig.Pos,
+				"cpelint:ignore names unknown pass %s (known: determinism, eventsafety, errpanic, ignores)",
+				strconv.Quote(ig.Pass))
+		case ig.Reason == "":
+			pass.Reportf(ig.Pos,
+				"cpelint:ignore %s is missing a reason: the escape hatch must document why the invariant does not apply here",
+				ig.Pass)
+		}
+	}
+	return nil
+}

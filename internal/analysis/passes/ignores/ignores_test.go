@@ -1,0 +1,12 @@
+package ignores_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ignores"
+)
+
+func TestSuppressionHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", "hygiene", ignores.Analyzer)
+}

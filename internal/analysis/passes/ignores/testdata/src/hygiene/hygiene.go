@@ -1,0 +1,14 @@
+// Package hygiene exercises the suppression-hygiene rules: a directive must
+// name a known pass, carry a reason, and actually suppress something.
+package hygiene
+
+//cpelint:ignore // want `malformed cpelint:ignore directive`
+
+//cpelint:ignore nosuchpass stale // want `cpelint:ignore names unknown pass "nosuchpass"`
+
+//cpelint:ignore errpanic // want `cpelint:ignore errpanic is missing a reason`
+
+//cpelint:ignore determinism this suppresses nothing // want `unused cpelint:ignore directive for pass "determinism"`
+
+// Noop keeps the package non-empty.
+func Noop() {}

@@ -1,0 +1,26 @@
+package suite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func TestRegistryMirrorsPassNames(t *testing.T) {
+	if err := suite.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	as := suite.Analyzers()
+	if len(as) != len(analysis.PassNames) {
+		t.Fatalf("suite has %d analyzers, PassNames has %d", len(as), len(analysis.PassNames))
+	}
+	for i, a := range as {
+		if a.Name != analysis.PassNames[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, analysis.PassNames[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func smallCfg() config.GPU {
 func newMachine(t *testing.T, cfg config.GPU) *machine.Machine {
 	t.Helper()
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 16<<20}
-	return machine.New(cfg, bounds, stats.New())
+	return must(machine.New(cfg, bounds, stats.New()))
 }
 
 // place homes one page for each chiplet deterministically.
@@ -262,4 +262,12 @@ func TestRemoteBankAtomics(t *testing.T) {
 	if m.Mem.StaleReads() != 0 {
 		t.Error("read after atomic stale")
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -76,7 +76,7 @@ func TestBuildLaunchRangeMetadata(t *testing.T) {
 func newRunner(t *testing.T, specs []StreamSpec) (*Runner, *machine.Machine) {
 	t.Helper()
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	x := gpu.New(m, coherence.NewBaseline(m), 1)
 	r, err := NewRunner(x, specs, RunnerConfig{RangeInfo: true})
 	if err != nil {
@@ -128,7 +128,7 @@ func TestRunnerOverlapsDisjointStreams(t *testing.T) {
 	}
 
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1100_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	x := gpu.New(m, coherence.NewBaseline(m), 1)
 	r, err := NewRunner(x, []StreamSpec{
 		{Workload: w0, Chiplets: []int{0, 1}},
@@ -165,7 +165,7 @@ func TestRunnerSharedChipletsSerialize(t *testing.T) {
 		Sequence: []*kernels.Kernel{k, k, k}}
 
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1100_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	x := gpu.New(m, coherence.NewBaseline(m), 1)
 	r, err := NewRunner(x, []StreamSpec{{Workload: w0}, {Workload: w1}}, RunnerConfig{RangeInfo: true})
 	if err != nil {
@@ -190,7 +190,7 @@ func TestRunnerSharedChipletsSerialize(t *testing.T) {
 
 func TestRunnerRejectsBadBinding(t *testing.T) {
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	x := gpu.New(m, coherence.NewBaseline(m), 1)
 	_, err := NewRunner(x, []StreamSpec{{Workload: buildWorkload("w", 1), Chiplets: []int{9}}}, RunnerConfig{RangeInfo: true})
 	if err == nil {
@@ -267,7 +267,7 @@ func TestInferArgRangesCoverAccesses(t *testing.T) {
 func TestPlacementPolicies(t *testing.T) {
 	w := buildWorkload("w", 1)
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	x := gpu.New(m, coherence.NewBaseline(m), 1)
 	if _, err := NewRunner(x, []StreamSpec{{Workload: w}},
 		RunnerConfig{RangeInfo: true, Placement: PlacementSingle}); err != nil {
@@ -278,7 +278,7 @@ func TestPlacementPolicies(t *testing.T) {
 		t.Error("single placement not on chiplet 0")
 	}
 
-	m2 := machine.New(smallCfg(), bounds, stats.New())
+	m2 := must(machine.New(smallCfg(), bounds, stats.New()))
 	x2 := gpu.New(m2, coherence.NewBaseline(m2), 1)
 	w2 := buildWorkload("w2", 1)
 	if _, err := NewRunner(x2, []StreamSpec{{Workload: w2}},
@@ -325,7 +325,7 @@ func (c *pollCancelCtx) Err() error {
 // never elide a needed acquire.
 func TestCancelMidRunDegradesTable(t *testing.T) {
 	bounds := mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}
-	m := machine.New(smallCfg(), bounds, stats.New())
+	m := must(machine.New(smallCfg(), bounds, stats.New()))
 	proto, err := core.New(m)
 	if err != nil {
 		t.Fatal(err)
@@ -357,4 +357,12 @@ func TestCancelMidRunDegradesTable(t *testing.T) {
 		t.Fatalf("sheet %s=%d, want one degradation per chiplet (%d)",
 			stats.TableDegradations, got, m.Cfg.NumChiplets)
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

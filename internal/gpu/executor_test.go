@@ -22,7 +22,7 @@ func smallCfg() config.GPU {
 
 func setup(t *testing.T) (*Executor, *machine.Machine) {
 	t.Helper()
-	m := machine.New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	m := must(machine.New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 	return New(m, coherence.NewBaseline(m), 7), m
 }
 
@@ -54,7 +54,7 @@ func TestExecutePlanOverlapsWithCPPipeline(t *testing.T) {
 	// can outlast it.
 	g := smallCfg()
 	g.CPLatencyUS = 0.05
-	m := machine.New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	m := must(machine.New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 	x := New(m, coherence.NewBaseline(m), 7)
 	// Empty plan costs nothing.
 	if cy := x.ExecutePlan(coherence.SyncPlan{}); cy != 0 {
@@ -81,7 +81,7 @@ func TestExecutePlanOverlapsWithCPPipeline(t *testing.T) {
 func TestLatencyFactorScalesExposure(t *testing.T) {
 	g := smallCfg()
 	g.CPLatencyUS = 0.05
-	m := machine.New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	m := must(machine.New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 	x := New(m, coherence.NewBaseline(m), 7)
 	fill := func() {
 		for i := 0; i < 1024; i++ {
@@ -173,4 +173,12 @@ func TestFinalizeReportsStaleReads(t *testing.T) {
 	if m.Sheet.Get(stats.StaleReads) != m.Mem.StaleReads() {
 		t.Error("finalize did not record stale reads")
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -6,7 +6,16 @@
 // entries each cover four cache lines (the paper's 12K-entry sizing).
 package hmg
 
-import "repro/internal/mem"
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ErrConfig reports an invalid HMG configuration; constructors return it
+// instead of panicking so embedding simulations surface it as a run error.
+var ErrConfig = errors.New("hmg: invalid config")
 
 // dirEntry tracks which chiplets may cache lines of one aligned line group.
 type dirEntry struct {
@@ -26,15 +35,18 @@ type directory struct {
 
 // newDirectory builds a directory of `entries` total entries with the given
 // associativity, covering groups of linesPerEntry lines of lineSize bytes.
-func newDirectory(entries, assoc, linesPerEntry, lineSize int) *directory {
+// A group span that is not a power of two <= 16 MiB returns an error
+// wrapping ErrConfig.
+func newDirectory(entries, assoc, linesPerEntry, lineSize int) (*directory, error) {
 	if entries%assoc != 0 {
 		entries -= entries % assoc
 	}
+	span := lineSize * linesPerEntry
 	shift := uint(0)
-	for 1<<shift != lineSize*linesPerEntry {
+	for 1<<shift != span {
 		shift++
 		if shift > 24 {
-			panic("hmg: linesPerEntry*lineSize must be a power of two")
+			return nil, fmt.Errorf("%w: linesPerEntry*lineSize = %d is not a power of two <= 16 MiB", ErrConfig, span)
 		}
 	}
 	return &directory{
@@ -42,7 +54,7 @@ func newDirectory(entries, assoc, linesPerEntry, lineSize int) *directory {
 		numSets:    uint64(entries / assoc),
 		assoc:      assoc,
 		sets:       make([]dirEntry, entries),
-	}
+	}, nil
 }
 
 // group returns the directory group base address containing line.

@@ -21,8 +21,8 @@ func smallCfg() config.GPU {
 
 func newHMG(t *testing.T, opts Options) (*Protocol, *machine.Machine) {
 	t.Helper()
-	m := machine.New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 16<<20}, stats.New())
-	return New(m, opts), m
+	m := must(machine.New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 16<<20}, stats.New()))
+	return must(New(m, opts)), m
 }
 
 func place(m *machine.Machine) (local, remote mem.Addr) {
@@ -36,7 +36,7 @@ func place(m *machine.Machine) (local, remote mem.Addr) {
 // --- directory unit tests -------------------------------------------------
 
 func TestDirectoryAddAndEvict(t *testing.T) {
-	d := newDirectory(8, 2, 4, 64) // 4 sets x 2 ways, 256 B groups
+	d := must(newDirectory(8, 2, 4, 64)) // 4 sets x 2 ways, 256 B groups
 	g := d.group(0x1000_0040)
 	if g != 0x1000_0000 {
 		t.Errorf("group = %#x", g)
@@ -59,7 +59,7 @@ func TestDirectoryAddAndEvict(t *testing.T) {
 }
 
 func TestDirectoryClearOthers(t *testing.T) {
-	d := newDirectory(8, 2, 4, 64)
+	d := must(newDirectory(8, 2, 4, 64))
 	g := d.group(0)
 	d.addSharer(g, 0)
 	d.addSharer(g, 1)
@@ -231,4 +231,12 @@ func TestHMGDefaultSizing(t *testing.T) {
 	if p.Name() != "HMG" {
 		t.Errorf("name = %s", p.Name())
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

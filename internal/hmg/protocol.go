@@ -49,15 +49,20 @@ type Protocol struct {
 	dirs []*directory // home-side directory per chiplet
 }
 
-// New builds HMG over machine m.
-func New(m *machine.Machine, opts Options) *Protocol {
+// New builds HMG over machine m. An invalid directory geometry returns an
+// error wrapping ErrConfig.
+func New(m *machine.Machine, opts Options) (*Protocol, error) {
 	opts = opts.withDefaults()
 	p := &Protocol{m: m, opts: opts}
 	for c := 0; c < m.Cfg.NumChiplets; c++ {
-		p.dirs = append(p.dirs, newDirectory(
-			opts.DirEntries, opts.DirAssoc, opts.LinesPerEntry, m.Cfg.LineSize))
+		d, err := newDirectory(
+			opts.DirEntries, opts.DirAssoc, opts.LinesPerEntry, m.Cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		p.dirs = append(p.dirs, d)
 	}
-	return p
+	return p, nil
 }
 
 // Name implements coherence.Protocol.

@@ -48,18 +48,33 @@ type Machine struct {
 	l3BankBytes []uint64
 }
 
-// New builds a machine covering the address span of bounds.
-func New(cfg config.GPU, bounds mem.Range, sheet *stats.Sheet) *Machine {
+// New builds a machine covering the address span of bounds. An invalid
+// configuration or cache geometry returns an error (config validation
+// errors, or mem.ErrGeometry / noc.ErrConfig wrapped) instead of panicking,
+// so a bad sweep point surfaces as a run error rather than a dead worker.
+func New(cfg config.GPU, bounds mem.Range, sheet *stats.Sheet) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := cfg.NumChiplets
+	memory, err := mem.NewMemory(bounds.Lo, bounds.Size(), cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := mem.NewPageTable(bounds.Lo, bounds.Size(), cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := noc.New(n, cfg.FlitSize, sheet, cfg.GPUOf)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		Cfg:    cfg,
 		Sheet:  sheet,
-		Mem:    mem.NewMemory(bounds.Lo, bounds.Size(), cfg.LineSize),
-		Pages:  mem.NewPageTable(bounds.Lo, bounds.Size(), cfg.PageSize),
-		Fabric: noc.New(n, cfg.FlitSize, sheet, cfg.GPUOf),
+		Mem:    memory,
+		Pages:  pages,
+		Fabric: fabric,
 		L1:     make([][]*mem.Cache, n),
 		L2:     make([]*mem.Cache, n),
 		L3:     make([]*mem.Cache, n),
@@ -69,14 +84,20 @@ func New(cfg config.GPU, bounds mem.Range, sheet *stats.Sheet) *Machine {
 	for c := 0; c < n; c++ {
 		m.L1[c] = make([]*mem.Cache, cfg.CUsPerChiplet)
 		for cu := 0; cu < cfg.CUsPerChiplet; cu++ {
-			m.L1[c][cu] = mem.NewCache("L1", cfg.L1SizeBytes, cfg.L1Assoc, cfg.LineSize)
+			if m.L1[c][cu], err = mem.NewCache("L1", cfg.L1SizeBytes, cfg.L1Assoc, cfg.LineSize); err != nil {
+				return nil, err
+			}
 		}
-		m.L2[c] = mem.NewCache("L2", cfg.L2SizeBytes, cfg.L2Assoc, cfg.LineSize)
+		if m.L2[c], err = mem.NewCache("L2", cfg.L2SizeBytes, cfg.L2Assoc, cfg.LineSize); err != nil {
+			return nil, err
+		}
 		bank := cfg.L3SizeBytes / n
 		bank -= bank % (cfg.L3Assoc * cfg.LineSize)
-		m.L3[c] = mem.NewCache("L3", bank, cfg.L3Assoc, cfg.LineSize)
+		if m.L3[c], err = mem.NewCache("L3", bank, cfg.L3Assoc, cfg.LineSize); err != nil {
+			return nil, err
+		}
 	}
-	return m
+	return m, nil
 }
 
 // Home returns the home chiplet of line, first-touch placing its page on

@@ -19,7 +19,7 @@ func smallCfg() config.GPU {
 
 func newM(t *testing.T) *Machine {
 	t.Helper()
-	return New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	return must(New(smallCfg(), mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 }
 
 func TestMachineShape(t *testing.T) {
@@ -153,7 +153,7 @@ func TestL1PathsAndBoundaryInvalidate(t *testing.T) {
 func TestCommitWritebackSpillsL3Victims(t *testing.T) {
 	g := smallCfg()
 	g.L3SizeBytes = 4 * 64 * 16 * 4 // 4 sets/bank, tiny
-	m := New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	m := must(New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 	// Overflow one L3 bank with dirty writebacks.
 	for i := 0; i < 600; i++ {
 		line := mem.Addr(0x1000_0000 + i*64)
@@ -180,7 +180,7 @@ func TestCrossGPULatencyAndTraffic(t *testing.T) {
 	g := smallCfg()
 	g.NumChiplets = 4
 	g.NumGPUs = 2 // chiplets {0,1} on GPU0, {2,3} on GPU1
-	m := New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New())
+	m := must(New(g, mem.Range{Lo: 0x1000_0000, Hi: 0x1000_0000 + 8<<20}, stats.New()))
 
 	if m.RemoteLatency(0, 1) != g.L2RemoteLatency {
 		t.Error("on-package remote latency wrong")
@@ -208,4 +208,12 @@ func TestCrossGPULatencyAndTraffic(t *testing.T) {
 	if m.Sheet.Get(stats.FlitsInterGPU) != ig {
 		t.Error("same-GPU transfer leaked onto the inter-GPU link")
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Cache is a set-associative, LRU-replaced cache model holding line
 // addresses and the data versions they carry. It is policy-free: the
 // coherence protocol composes Read/Write/Fill/Flush/Invalidate primitives
@@ -35,20 +37,21 @@ type EvictInfo struct {
 }
 
 // NewCache builds a cache of size bytes with the given associativity and
-// line size. size must be a multiple of assoc*lineSize.
-func NewCache(name string, size, assoc, lineSize int) *Cache {
+// line size. size must be a multiple of assoc*lineSize. Geometry violations
+// return an error wrapping ErrGeometry.
+func NewCache(name string, size, assoc, lineSize int) (*Cache, error) {
 	if size <= 0 || assoc <= 0 || lineSize <= 0 {
-		panic("mem: cache dimensions must be positive")
+		return nil, fmt.Errorf("%w: cache %s dimensions must be positive (size=%d assoc=%d lineSize=%d)",
+			ErrGeometry, name, size, assoc, lineSize)
 	}
 	if size%(assoc*lineSize) != 0 {
-		panic("mem: cache size must be a multiple of assoc*lineSize")
+		return nil, fmt.Errorf("%w: cache %s size %d is not a multiple of assoc*lineSize (%d*%d)",
+			ErrGeometry, name, size, assoc, lineSize)
 	}
-	shift := uint(0)
-	for 1<<shift != lineSize {
-		shift++
-		if shift > 16 {
-			panic("mem: lineSize must be a power of two")
-		}
+	shift, err := log2(lineSize, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: cache %s line size %d is not a power of two <= 64 KiB",
+			ErrGeometry, name, lineSize)
 	}
 	numSets := uint64(size / (assoc * lineSize))
 	return &Cache{
@@ -58,7 +61,7 @@ func NewCache(name string, size, assoc, lineSize int) *Cache {
 		assoc:     assoc,
 		setsPow2:  numSets&(numSets-1) == 0,
 		sets:      make([]way, numSets*uint64(assoc)),
-	}
+	}, nil
 }
 
 // Name returns the cache's diagnostic name.

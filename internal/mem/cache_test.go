@@ -6,15 +6,15 @@ import (
 )
 
 // tiny returns a 4-set, 2-way cache with 64 B lines (512 B total).
-func tiny() *Cache { return NewCache("t", 512, 2, 64) }
+func tiny() *Cache { return must(NewCache("t", 512, 2, 64)) }
 
 func TestCacheGeometry(t *testing.T) {
-	c := NewCache("l2", 8<<20, 32, 64)
+	c := must(NewCache("l2", 8<<20, 32, 64))
 	if c.Sets() != 4096 || c.Assoc() != 32 || c.Lines() != 131072 {
 		t.Errorf("geometry: sets=%d assoc=%d lines=%d", c.Sets(), c.Assoc(), c.Lines())
 	}
 	// Non-power-of-two set count (16 MB / 6 chiplets style).
-	odd := NewCache("bank", 192*64*3, 3, 64)
+	odd := must(NewCache("bank", 192*64*3, 3, 64))
 	if odd.Sets() != 192 {
 		t.Errorf("odd sets = %d, want 192", odd.Sets())
 	}
@@ -128,8 +128,8 @@ func TestCacheRangeOpsMatchFullWalk(t *testing.T) {
 	// The small-range fast path must behave exactly like the full walk.
 	rnd := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
-		a := NewCache("a", 64*64*4, 4, 64)
-		b := NewCache("b", 64*64*4, 4, 64)
+		a := must(NewCache("a", 64*64*4, 4, 64))
+		b := must(NewCache("b", 64*64*4, 4, 64))
 		for i := 0; i < 300; i++ {
 			line := Addr(rnd.Intn(2048)) * 64
 			dirty := rnd.Intn(2) == 0
@@ -172,7 +172,7 @@ func TestCacheValidInRanges(t *testing.T) {
 // match a brute-force scan, and the cache never exceeds its capacity.
 func TestCacheCountersInvariant(t *testing.T) {
 	rnd := rand.New(rand.NewSource(7))
-	c := NewCache("p", 8*64*2, 2, 64)
+	c := must(NewCache("p", 8*64*2, 2, 64))
 	lines := func() (valid, dirty int) {
 		for _, w := range c.sets {
 			if w.valid {
@@ -215,7 +215,7 @@ func TestCacheCountersInvariant(t *testing.T) {
 // still dirty in the cache or was passed to a commit callback.
 func TestCacheNoSilentDirtyLoss(t *testing.T) {
 	rnd := rand.New(rand.NewSource(99))
-	c := NewCache("d", 4*64*2, 2, 64)
+	c := must(NewCache("d", 4*64*2, 2, 64))
 	latest := map[Addr]uint32{}    // newest dirty version written
 	committed := map[Addr]uint32{} // newest version committed
 	commit := func(line Addr, ver uint32) {
@@ -248,4 +248,12 @@ func TestCacheNoSilentDirtyLoss(t *testing.T) {
 				line, ver, committed[line])
 		}
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

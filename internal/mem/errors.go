@@ -1,0 +1,19 @@
+package mem
+
+import "errors"
+
+// ErrGeometry reports an invalid cache, memory, or page-table geometry
+// (non-power-of-two line or page size, size not a multiple of the set
+// geometry). Constructors return it instead of panicking so embedding
+// simulations surface a bad configuration as a run error (DESIGN §12).
+var ErrGeometry = errors.New("mem: invalid geometry")
+
+// log2 returns log2(v) when v is a power of two with exponent <= max.
+func log2(v int, max uint) (uint, error) {
+	for shift := uint(0); shift <= max; shift++ {
+		if 1<<shift == v {
+			return shift, nil
+		}
+	}
+	return 0, ErrGeometry
+}

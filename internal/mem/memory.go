@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Memory is the versioned backing store behind all caches. It tracks two
 // version numbers per cache line:
 //
@@ -23,14 +25,13 @@ type Memory struct {
 	lastStale  Addr
 }
 
-// NewMemory covers [base, base+size) with lines of lineSize bytes.
-func NewMemory(base Addr, size uint64, lineSize int) *Memory {
-	shift := uint(0)
-	for 1<<shift != lineSize {
-		shift++
-		if shift > 16 {
-			panic("mem: lineSize must be a power of two <= 64 KiB")
-		}
+// NewMemory covers [base, base+size) with lines of lineSize bytes. A line
+// size that is not a power of two <= 64 KiB returns an error wrapping
+// ErrGeometry.
+func NewMemory(base Addr, size uint64, lineSize int) (*Memory, error) {
+	shift, err := log2(lineSize, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: memory line size %d is not a power of two <= 64 KiB", ErrGeometry, lineSize)
 	}
 	n := (size + uint64(lineSize) - 1) >> shift
 	return &Memory{
@@ -38,7 +39,7 @@ func NewMemory(base Addr, size uint64, lineSize int) *Memory {
 		lineShift: shift,
 		latest:    make([]uint32, n),
 		committed: make([]uint32, n),
-	}
+	}, nil
 }
 
 // LineShift returns log2 of the line size.

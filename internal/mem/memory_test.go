@@ -3,7 +3,7 @@ package mem
 import "testing"
 
 func TestPageTableFirstTouch(t *testing.T) {
-	p := NewPageTable(0x1000, 64<<10, 4096)
+	p := must(NewPageTable(0x1000, 64<<10, 4096))
 	if p.Pages() != 16 {
 		t.Fatalf("pages = %d, want 16", p.Pages())
 	}
@@ -22,7 +22,7 @@ func TestPageTableFirstTouch(t *testing.T) {
 }
 
 func TestPageTablePlaceRange(t *testing.T) {
-	p := NewPageTable(0, 64<<10, 4096)
+	p := must(NewPageTable(0, 64<<10, 4096))
 	n := p.PlaceRange(Range{Lo: 0x1000, Hi: 0x3000}, 1)
 	if n != 2 {
 		t.Errorf("placed %d pages, want 2", n)
@@ -44,7 +44,7 @@ func TestPageTablePlaceRange(t *testing.T) {
 }
 
 func TestPageTablePartialLastPage(t *testing.T) {
-	p := NewPageTable(0, 10000, 4096) // 3 pages, last partial
+	p := must(NewPageTable(0, 10000, 4096)) // 3 pages, last partial
 	if p.Pages() != 3 {
 		t.Fatalf("pages = %d", p.Pages())
 	}
@@ -55,7 +55,7 @@ func TestPageTablePartialLastPage(t *testing.T) {
 }
 
 func TestMemoryVersions(t *testing.T) {
-	m := NewMemory(0, 1<<16, 64)
+	m := must(NewMemory(0, 1<<16, 64))
 	line := Addr(0x40)
 	if v := m.Store(line); v != 1 {
 		t.Errorf("first store ver = %d", v)
@@ -80,7 +80,7 @@ func TestMemoryVersions(t *testing.T) {
 }
 
 func TestMemoryStalenessChecker(t *testing.T) {
-	m := NewMemory(0, 1<<16, 64)
+	m := must(NewMemory(0, 1<<16, 64))
 	line := Addr(0x80)
 	if !m.Observe(line, 0) {
 		t.Error("fresh zero observation flagged stale")
@@ -102,8 +102,8 @@ func TestMemoryStalenessChecker(t *testing.T) {
 }
 
 func TestMemoryImageHash(t *testing.T) {
-	a := NewMemory(0, 1<<12, 64)
-	b := NewMemory(0, 1<<12, 64)
+	a := must(NewMemory(0, 1<<12, 64))
+	b := must(NewMemory(0, 1<<12, 64))
 	if a.ImageHash() != b.ImageHash() {
 		t.Fatal("empty images differ")
 	}
@@ -125,7 +125,7 @@ func TestMemoryImageHash(t *testing.T) {
 }
 
 func TestMemoryLineOf(t *testing.T) {
-	m := NewMemory(0, 1<<12, 64)
+	m := must(NewMemory(0, 1<<12, 64))
 	if m.LineOf(0x7F) != 0x40 {
 		t.Errorf("LineOf(0x7F) = %#x", m.LineOf(0x7F))
 	}

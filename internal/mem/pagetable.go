@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // PageTable implements first-touch NUMA page placement (Section IV-C1 of the
 // paper): the first chiplet to access a page becomes its home node. The home
 // determines which L3 bank and HBM partition serve the page and therefore
@@ -10,22 +12,20 @@ type PageTable struct {
 	homes     []int8 // -1 = untouched
 }
 
-// NewPageTable covers [base, base+size) with pages of pageSize bytes
-// (a power of two).
-func NewPageTable(base Addr, size uint64, pageSize int) *PageTable {
-	shift := uint(0)
-	for 1<<shift != pageSize {
-		shift++
-		if shift > 30 {
-			panic("mem: pageSize must be a power of two <= 1 GiB")
-		}
+// NewPageTable covers [base, base+size) with pages of pageSize bytes. A
+// page size that is not a power of two <= 1 GiB returns an error wrapping
+// ErrGeometry.
+func NewPageTable(base Addr, size uint64, pageSize int) (*PageTable, error) {
+	shift, err := log2(pageSize, 30)
+	if err != nil {
+		return nil, fmt.Errorf("%w: page size %d is not a power of two <= 1 GiB", ErrGeometry, pageSize)
 	}
 	n := (size + uint64(pageSize) - 1) >> shift
 	homes := make([]int8, n)
 	for i := range homes {
 		homes[i] = -1
 	}
-	return &PageTable{pageShift: shift, base: base, homes: homes}
+	return &PageTable{pageShift: shift, base: base, homes: homes}, nil
 }
 
 // Home returns the home chiplet for addr, assigning chiplet as the home on

@@ -8,6 +8,9 @@
 package noc
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/faults"
 	"repro/internal/stats"
 )
@@ -27,11 +30,15 @@ type Fabric struct {
 	interGPUBytes uint64 // bytes crossing the inter-GPU interconnect
 }
 
+// ErrConfig reports an invalid fabric configuration; New returns it instead
+// of panicking so embedding simulations surface it as a run error.
+var ErrConfig = errors.New("noc: invalid config")
+
 // New builds a Fabric for n chiplets, recording flits into sheet. gpuOf maps
 // a chiplet to its GPU package (nil = all chiplets on one package).
-func New(n, flitSize int, sheet *stats.Sheet, gpuOf func(int) int) *Fabric {
+func New(n, flitSize int, sheet *stats.Sheet, gpuOf func(int) int) (*Fabric, error) {
 	if flitSize <= 0 {
-		panic("noc: flitSize must be positive")
+		return nil, fmt.Errorf("%w: flit size %d must be positive", ErrConfig, flitSize)
 	}
 	if gpuOf == nil {
 		gpuOf = func(int) int { return 0 }
@@ -42,7 +49,7 @@ func New(n, flitSize int, sheet *stats.Sheet, gpuOf func(int) int) *Fabric {
 		gpuOf:     gpuOf,
 		portBytes: make([]uint64, n),
 		dramBytes: make([]uint64, n),
-	}
+	}, nil
 }
 
 // SetFaults installs a fault injector so remote transfers occurring inside a

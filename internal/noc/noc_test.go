@@ -8,7 +8,7 @@ import (
 
 func TestFlitClasses(t *testing.T) {
 	sheet := stats.New()
-	f := New(4, 16, sheet, nil)
+	f := must(New(4, 16, sheet, nil))
 	f.L1L2(72) // ceil(72/16) = 5 flits
 	if got := sheet.Get(stats.FlitsL1L2); got != 5 {
 		t.Errorf("L1L2 flits = %d, want 5", got)
@@ -27,7 +27,7 @@ func TestFlitClasses(t *testing.T) {
 }
 
 func TestPortAccounting(t *testing.T) {
-	f := New(4, 16, stats.New(), nil)
+	f := must(New(4, 16, stats.New(), nil))
 	f.Remote(0, 2, 128)
 	if f.PortBytes(0) != 128 || f.PortBytes(2) != 128 {
 		t.Error("both endpoints' ports should be occupied")
@@ -42,7 +42,7 @@ func TestPortAccounting(t *testing.T) {
 }
 
 func TestDRAMAccountingAndReset(t *testing.T) {
-	f := New(2, 16, stats.New(), nil)
+	f := must(New(2, 16, stats.New(), nil))
 	f.DRAM(1, 256)
 	f.DRAM(1, 64)
 	if f.DRAMBytes(1) != 320 || f.DRAMBytes(0) != 0 {
@@ -60,7 +60,7 @@ func TestDRAMAccountingAndReset(t *testing.T) {
 func TestInterGPUAccounting(t *testing.T) {
 	sheet := stats.New()
 	// Chiplets 0,1 on GPU 0; chiplets 2,3 on GPU 1.
-	f := New(4, 16, sheet, func(c int) int { return c / 2 })
+	f := must(New(4, 16, sheet, func(c int) int { return c / 2 }))
 	f.Remote(0, 1, 64) // same package
 	if f.InterGPUBytes() != 0 {
 		t.Error("same-package transfer counted as inter-GPU")
@@ -80,4 +80,12 @@ func TestInterGPUAccounting(t *testing.T) {
 	if f.InterGPUBytes() != 0 {
 		t.Error("Reset missed inter-GPU bytes")
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

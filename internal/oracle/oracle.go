@@ -282,14 +282,22 @@ func (o *Oracle) OnFinalize(plan coherence.SyncPlan) {
 		return
 	}
 	o.applyPlan(plan)
+	// Sort dirty lines by address so the violation list (and therefore the
+	// JSON report) is identical across runs regardless of map iteration order.
+	dirty := make([]mem.Addr, 0, len(o.lines))
 	for line, st := range o.lines {
 		if st.dirty {
-			o.violate(Violation{
-				Rule: RuleUnreleasedAtExit, Line: line,
-				Chiplet: -1, Home: int(st.home), Writer: int(st.writer),
-				Kernel: "(finalize)", Stream: -1, Inst: -1,
-			})
+			dirty = append(dirty, line)
 		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, line := range dirty {
+		st := o.lines[line]
+		o.violate(Violation{
+			Rule: RuleUnreleasedAtExit, Line: line,
+			Chiplet: -1, Home: int(st.home), Writer: int(st.writer),
+			Kernel: "(finalize)", Stream: -1, Inst: -1,
+		})
 	}
 }
 

@@ -118,7 +118,7 @@ func TestBrokenProtocolIsCaught(t *testing.T) {
 	w := buildBench(t, "hotspot3D", 0.1)
 	cfg := DefaultConfig(4)
 	sheet := stats.New()
-	m := machine.New(cfg, w.Bounds(), sheet)
+	m := must(machine.New(cfg, w.Bounds(), sheet))
 	x := gpu.New(m, &elideEverything{coherence.NewBaseline(m)}, w.Seed)
 	runner, err := cp.NewRunner(x, []StreamSpec{{Workload: w}}, cp.RunnerConfig{RangeInfo: true})
 	if err != nil {
@@ -183,4 +183,12 @@ func TestChipletScalingTrend(t *testing.T) {
 	if r4, r7 := ratio(4), ratio(7); r7 < r4*0.9 {
 		t.Errorf("CPElide-over-HMG shrank sharply with chiplets: %.3f -> %.3f", r4, r7)
 	}
+}
+
+// must unwraps constructor errors in tests, where geometry is known-valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
