@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint cpelint fmt
+.PHONY: all build test race lint cpelint fmt bench bench-gate
 
 all: build test lint
 
@@ -27,3 +27,13 @@ cpelint:
 
 fmt:
 	gofmt -w .
+
+# Re-measure the committed performance baseline (run on a quiet machine).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_core.json
+
+# The CI regression gate, locally: measure now, compare the
+# machine-independent metrics against the committed baseline.
+bench-gate:
+	$(GO) run ./cmd/bench -benchtime 200ms -out /tmp/BENCH_current.json
+	$(GO) run ./cmd/bench -against /tmp/BENCH_current.json -baseline BENCH_core.json -metrics allocs,cycles,accesses -max-regress 0.10

@@ -4,36 +4,47 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/metrics"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpelide-server: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs)")
-		queueCap = flag.Int("queue", 64, "pending-job queue capacity (full queue => 429)")
-		cacheCap = flag.Int("cache", farm.DefaultCacheEntries, "result cache entries (negative disables caching)")
-		jobTO    = flag.Duration("job-timeout", 0, "per-attempt deadline for one simulation (0 = none)")
-		retries  = flag.Int("retries", 0, "extra attempts for transiently failed jobs (timeouts, panics)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (e.g. localhost:6060); empty disables")
+		workers   = flag.Int("workers", 0, "farm worker goroutines (0 = all CPUs)")
+		queueCap  = flag.Int("queue", 64, "pending-job queue capacity (full queue => 429)")
+		cacheCap  = flag.Int("cache", farm.DefaultCacheEntries, "result cache entries (negative disables caching)")
+		jobTO     = flag.Duration("job-timeout", 0, "per-attempt deadline for one simulation (0 = none)")
+		retries   = flag.Int("retries", 0, "extra attempts for transiently failed jobs (timeouts, panics)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "cpelide-server")
+
+	reg := metrics.NewRegistry()
 	eng := farm.New(farm.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheCap,
 		JobTimeout:   *jobTO,
 		Retries:      *retries,
+		Metrics:      reg,
 	})
 	s := newServer(eng, *queueCap)
+	s.instrument(reg, logger)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -41,24 +52,47 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, queue %d)", *addr, eng.Workers(), *queueCap)
+	logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "queue", *queueCap)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// The profiling surface is a separate listener so it can stay bound
+		// to localhost while the API listens publicly.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting connections, let queued jobs finish,
 	// then stop the farm workers.
-	log.Print("signal received, draining")
+	logger.Info("signal received, draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	s.Drain()
 	eng.Close()
 	c := eng.Counters()
-	log.Printf("drained: jobs=%d runs=%d cache-hits=%d errors=%d", c.Jobs, c.Runs, c.CacheHits, c.Errors)
+	logger.Info("drained", "jobs", c.Jobs, "runs", c.Runs, "cache_hits", c.CacheHits, "errors", c.Errors)
 }

@@ -8,16 +8,23 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/farm"
+	"repro/internal/metrics"
 )
 
 // jobRequest is the POST /v1/jobs body. Either workload (single stream
@@ -130,6 +137,12 @@ type server struct {
 	farm     *farm.Farm
 	queueCap int
 
+	// reg and log are the observability surface: a nil registry makes every
+	// metric a detached no-op and a nil logger discards, so tests that only
+	// exercise the job API need no wiring.
+	reg *metrics.Registry
+	log *slog.Logger
+
 	mu       sync.Mutex
 	queue    chan *serverJob
 	jobs     map[string]*serverJob
@@ -158,6 +171,32 @@ func newServer(f *farm.Farm, queueCap int) *server {
 	return s
 }
 
+// instrument attaches the observability surface: the metrics registry
+// (server gauges; the HTTP middleware and /metrics mount read it too) and
+// the structured logger. Call before handler(); both may be nil.
+func (s *server) instrument(reg *metrics.Registry, logger *slog.Logger) {
+	s.reg = reg
+	s.log = logger
+	reg.GaugeFunc("server_queue_depth", "Jobs waiting for a dispatcher.", func() int64 {
+		return int64(len(s.queue))
+	})
+	reg.GaugeFunc("server_jobs_known", "Job IDs tracked since startup.", func() int64 {
+		s.mu.Lock()
+		n := len(s.jobs)
+		s.mu.Unlock()
+		return int64(n)
+	})
+	reg.Gauge("server_queue_cap", "Submission queue capacity.").Set(int64(s.queueCap))
+}
+
+// logger returns the structured logger, discarding when none was attached.
+func (s *server) logger() *slog.Logger {
+	if s.log == nil {
+		return slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return s.log
+}
+
 // dispatch feeds queued jobs into the farm until the queue is closed. The
 // farm's own pool bounds simulation parallelism; one dispatcher per worker
 // keeps it saturated while cache hits return immediately.
@@ -165,12 +204,17 @@ func (s *server) dispatch() {
 	defer s.wg.Done()
 	for sj := range s.queue {
 		sj.set("running", nil, "")
+		start := time.Now()
 		rep, err := s.farm.Submit(context.Background(), sj.job)
 		if err != nil {
 			sj.set("error", nil, err.Error())
+			s.logger().Error("job failed", "job_id", sj.id, "job", sj.job.Name(),
+				"dur_us", time.Since(start).Microseconds(), "err", err)
 			continue
 		}
 		sj.set("done", rep, "")
+		s.logger().Info("job done", "job_id", sj.id, "job", sj.job.Name(),
+			"dur_us", time.Since(start).Microseconds(), "cycles", rep.Cycles)
 	}
 }
 
@@ -207,10 +251,58 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return s.middleware(mux)
+}
+
+// requestSeq breaks ties when the random source fails; IDs only need to be
+// unique within the process's log stream.
+var requestSeq atomic.Uint64
+
+// newRequestID draws a 16-hex-digit correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", requestSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware tags every response with an X-Request-ID (honoring one the
+// client sent, so IDs correlate across services), logs the request with it,
+// and feeds the HTTP metrics. Applied to every route, errors included.
+func (s *server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		durUS := time.Since(start).Microseconds()
+		s.reg.Counter(fmt.Sprintf("http_requests_total{code=%q}", strconv.Itoa(sw.code)),
+			"HTTP responses by status code.").Inc()
+		s.reg.Histogram("http_request_duration_us", "HTTP request latency, microseconds.").
+			Observe(uint64(durUS))
+		s.logger().Info("request", "request_id", id, "method", r.Method,
+			"path", r.URL.Path, "status", sw.code, "dur_us", durUS)
+	})
 }
 
 type statusResponse struct {
@@ -268,6 +360,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- sj:
 		s.jobs[id] = sj
 		s.mu.Unlock()
+		s.logger().Info("job accepted", "job_id", id, "job", job.Name())
 		writeJSON(w, http.StatusAccepted, statusResponse{ID: id, Status: "queued"})
 	default:
 		s.mu.Unlock()

@@ -32,6 +32,7 @@ import (
 
 	"repro"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -80,6 +81,11 @@ type Options struct {
 	// RetryBaseDelay is the base of the full-jitter exponential backoff
 	// between attempts; zero uses DefaultRetryDelay.
 	RetryBaseDelay time.Duration
+	// Metrics, when non-nil, receives the farm's production metrics:
+	// lifecycle counters, queue-depth and cache gauges, a per-job latency
+	// histogram, and post-run roll-ups of simulation and fault-injection
+	// activity. Nil disables the instrumentation at no cost.
+	Metrics *metrics.Registry
 }
 
 // Counters is a snapshot of the farm's activity tallies.
@@ -122,6 +128,7 @@ type Farm struct {
 
 	sheet *stats.Sheet
 	rec   *trace.Recorder
+	m     *farmMetrics
 	epoch time.Time
 
 	jobTimeout time.Duration
@@ -173,6 +180,7 @@ func New(o Options) *Farm {
 		retries:    o.Retries,
 		retryBase:  o.RetryBaseDelay,
 	}
+	f.m = newFarmMetrics(f, o.Metrics)
 	f.wg.Add(w)
 	for i := 0; i < w; i++ {
 		go f.worker(i)
@@ -223,8 +231,10 @@ func (f *Farm) Submit(ctx context.Context, job Job) (*cpelide.Report, error) {
 
 	f.mu.Lock()
 	f.c.Jobs++
+	f.m.jobs.Inc()
 	if rep, ok := f.cache.get(key); ok {
 		f.c.CacheHits++
+		f.m.hits.Inc()
 		f.mirrorLocked()
 		now := f.sinceUS()
 		f.mu.Unlock()
@@ -233,6 +243,7 @@ func (f *Farm) Submit(ctx context.Context, job Job) (*cpelide.Report, error) {
 	}
 	if fl, ok := f.inflight[key]; ok {
 		f.c.DedupWaits++
+		f.m.dedup.Inc()
 		f.mirrorLocked()
 		f.mu.Unlock()
 		select {
@@ -247,6 +258,7 @@ func (f *Farm) Submit(ctx context.Context, job Job) (*cpelide.Report, error) {
 		return nil, ErrClosed
 	}
 	f.c.CacheMisses++
+	f.m.misses.Inc()
 	fl := &flight{key: key, job: job, queuedUS: f.sinceUS(), done: make(chan struct{})}
 	f.inflight[key] = fl
 	f.mirrorLocked()
@@ -343,6 +355,7 @@ func (f *Farm) executeWithRetry(ctx context.Context, j Job) (*cpelide.Report, er
 		}
 		f.mu.Lock()
 		f.c.Retries++
+		f.m.retries.Inc()
 		f.mirrorLocked()
 		f.mu.Unlock()
 		rep, err = f.attempt(ctx, j)
@@ -364,6 +377,7 @@ func (f *Farm) attempt(parent context.Context, j Job) (*cpelide.Report, error) {
 	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) && parent.Err() == nil {
 		f.mu.Lock()
 		f.c.Timeouts++
+		f.m.timeouts.Inc()
 		f.mirrorLocked()
 		f.mu.Unlock()
 		return nil, fmt.Errorf("farm: job %s after %v: %w", j.Name(), f.jobTimeout, ErrJobTimeout)
@@ -403,6 +417,7 @@ func (f *Farm) execute(ctx context.Context, j Job) (rep *cpelide.Report, err err
 			err = fmt.Errorf("farm: job %s: %w: %v", j.Name(), ErrPanic, p)
 			f.mu.Lock()
 			f.c.Panics++
+			f.m.panics.Inc()
 			f.mu.Unlock()
 		}
 	}()
@@ -414,7 +429,8 @@ func (f *Farm) execute(ctx context.Context, j Job) (rep *cpelide.Report, err err
 		return nil, err
 	}
 	opt := j.Options
-	opt.Trace = nil // see Job.Options: per-run tracing cannot cross the cache
+	opt.Trace = nil    // see Job.Options: per-run tracing cannot cross the cache
+	opt.Profiler = nil // wall-clock attribution cannot cross the cache either
 	alloc := cpelide.NewAllocator(j.Config.PageSize)
 	specs := make([]cpelide.StreamSpec, 0, len(ss))
 	for _, s := range ss {
@@ -446,13 +462,18 @@ func (f *Farm) finish(fl *flight, rep *cpelide.Report, err error, cacheIt bool) 
 	}
 	fl.resolved = true
 	fl.rep, fl.err = rep, err
+	f.m.jobUS.Observe(f.sinceUS() - fl.queuedUS)
 	if err == nil {
 		f.c.Runs++
+		f.m.runs.Inc()
+		f.m.observeReport(rep)
 		if cacheIt && f.cache.add(fl.key, rep) {
 			f.c.Evictions++
+			f.m.evictions.Inc()
 		}
 	} else {
 		f.c.Errors++
+		f.m.errs.Inc()
 	}
 	if f.inflight[fl.key] == fl {
 		delete(f.inflight, fl.key)

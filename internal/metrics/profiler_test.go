@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func TestPhaseProfilerNilSafety(t *testing.T) {
+	var p *PhaseProfiler
+	if ph := p.SetPhase(event.PhaseKernel); ph != event.PhaseIdle {
+		t.Errorf("nil SetPhase = %v", ph)
+	}
+	p.Start()
+	p.Stop()
+	if p.Profile() != nil {
+		t.Error("nil Profile nonzero")
+	}
+	var prof *PhaseProfile
+	if !strings.Contains(prof.String(), "none") {
+		t.Errorf("nil profile string = %q", prof.String())
+	}
+}
+
+func TestPhaseProfilerAttribution(t *testing.T) {
+	p := NewPhaseProfiler(100 * time.Microsecond)
+	p.Start()
+	p.SetPhase(event.PhaseKernel)
+	time.Sleep(30 * time.Millisecond)
+	prev := p.SetPhase(event.PhaseIdle)
+	p.Stop()
+	if prev != event.PhaseKernel {
+		t.Errorf("SetPhase returned %v, want kernel", prev)
+	}
+	prof := p.Profile()
+	if prof.Samples == 0 {
+		t.Fatal("no samples after 30ms at 100µs interval")
+	}
+	var kernel PhaseSamples
+	for _, ps := range prof.Phases {
+		if ps.Phase == "kernel" {
+			kernel = ps
+		}
+	}
+	if kernel.Fraction < 0.5 {
+		t.Errorf("kernel phase only %.2f of samples, want the majority: %+v",
+			kernel.Fraction, prof.Phases)
+	}
+	if prof.WallNS == 0 || prof.Switches != 2 {
+		t.Errorf("wall=%d switches=%d", prof.WallNS, prof.Switches)
+	}
+	// Fixed shape: every phase is present exactly once, in enum order.
+	if len(prof.Phases) != int(event.NumPhases) {
+		t.Fatalf("got %d phases, want %d", len(prof.Phases), event.NumPhases)
+	}
+	for i, ps := range prof.Phases {
+		if ps.Phase != event.Phase(i).String() {
+			t.Errorf("phase %d = %q, want %q", i, ps.Phase, event.Phase(i))
+		}
+	}
+	// Idempotent lifecycle: double Stop and late Start are safe.
+	p.Stop()
+	out := prof.String()
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "phase profile:") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+}
+
+func TestPhaseProfilerStartStopIdempotent(t *testing.T) {
+	p := NewPhaseProfiler(0)
+	p.Stop() // never started: no-op
+	p.Start()
+	p.Start() // double start: no-op
+	p.Stop()
+	p.Stop() // double stop: no-op
+	if p.Profile() == nil {
+		t.Error("profile nil after lifecycle")
+	}
+}
+
+// TestPhaseProfilerConcurrentSetPhase exercises marker stores racing the
+// sampler; run under -race in CI.
+func TestPhaseProfilerConcurrentSetPhase(t *testing.T) {
+	p := NewPhaseProfiler(50 * time.Microsecond)
+	p.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				p.SetPhase(event.Phase(uint8(i+g) % uint8(event.NumPhases)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Stop()
+	if p.Profile().Switches != 8*10000 {
+		t.Errorf("switches = %d", p.Profile().Switches)
+	}
+}
+
+func TestPhaseProfileJSONShape(t *testing.T) {
+	p := NewPhaseProfiler(time.Millisecond)
+	p.Start()
+	time.Sleep(5 * time.Millisecond)
+	p.Stop()
+	b, err := json.Marshal(p.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PhaseProfile
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Phases) != int(event.NumPhases) {
+		t.Errorf("round trip lost phases: %d", len(back.Phases))
+	}
+}

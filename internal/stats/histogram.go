@@ -119,6 +119,40 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// Bucket is one cumulative histogram bucket: Count observations had values
+// less than or equal to UpperBound. The exposition layer (internal/metrics)
+// turns these into Prometheus `_bucket{le="..."}` lines, whose counts are
+// cumulative by definition.
+type Bucket struct {
+	UpperBound uint64
+	Count      uint64
+}
+
+// CumulativeBuckets returns the histogram's buckets in cumulative form,
+// truncated after the bucket that reaches the total count (so an empty or
+// nil histogram returns nil, and the last returned bucket always has
+// Count == Count()). Bucket i's upper bound is the largest value with bit
+// length i: 0, 1, 3, 7, ..., 2^i - 1.
+func (h *Histogram) CumulativeBuckets() []Bucket {
+	if h == nil || h.count == 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, 8)
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		ub := uint64(0)
+		if i > 0 {
+			ub = 1<<uint(i) - 1
+		}
+		out = append(out, Bucket{UpperBound: ub, Count: cum})
+		if cum == h.count {
+			break
+		}
+	}
+	return out
+}
+
 // String renders the nonzero buckets as an aligned table with a bar chart.
 func (h *Histogram) String() string {
 	if h == nil || h.count == 0 {

@@ -62,6 +62,79 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is zero.
+	e := NewHistogram("empty")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := e.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	// Single sample: every quantile is that sample's bucket, clamped to max.
+	s := NewHistogram("single")
+	s.Observe(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := s.Quantile(q); v != 42 {
+			t.Errorf("single-sample Quantile(%v) = %d, want 42", q, v)
+		}
+	}
+	// Quantile never exceeds the observed max even mid-bucket.
+	m := NewHistogram("max")
+	m.Observe(9) // bucket [8,15], upper edge 15 > max 9
+	if v := m.Quantile(1); v != 9 {
+		t.Errorf("Quantile(1) = %d, want clamp to max 9", v)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	// Nil and empty histograms have no buckets.
+	var nilH *Histogram
+	if b := nilH.CumulativeBuckets(); b != nil {
+		t.Errorf("nil CumulativeBuckets = %v, want nil", b)
+	}
+	if b := NewHistogram("e").CumulativeBuckets(); b != nil {
+		t.Errorf("empty CumulativeBuckets = %v, want nil", b)
+	}
+
+	h := NewHistogram("c")
+	h.Observe(0)  // bucket 0, le 0
+	h.Observe(1)  // bucket 1, le 1
+	h.Observe(2)  // bucket 2, le 3
+	h.Observe(3)  // bucket 2, le 3
+	h.Observe(10) // bucket 4, le 15
+	got := h.CumulativeBuckets()
+	want := []Bucket{
+		{UpperBound: 0, Count: 1},
+		{UpperBound: 1, Count: 2},
+		{UpperBound: 3, Count: 4},
+		{UpperBound: 7, Count: 4},
+		{UpperBound: 15, Count: 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Counts are monotone and the last equals the total count.
+	for i := 1; i < len(got); i++ {
+		if got[i].Count < got[i-1].Count {
+			t.Errorf("bucket counts not cumulative at %d: %v", i, got)
+		}
+	}
+	if got[len(got)-1].Count != h.Count() {
+		t.Errorf("last bucket count %d != total %d", got[len(got)-1].Count, h.Count())
+	}
+	// A single zero-valued observation yields exactly one le=0 bucket.
+	z := NewHistogram("z")
+	z.Observe(0)
+	if b := z.CumulativeBuckets(); len(b) != 1 || b[0] != (Bucket{0, 1}) {
+		t.Errorf("zero-only buckets = %v", b)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram("dur")
 	h.Observe(4)
