@@ -1,10 +1,21 @@
+// Command cpelide-server runs the experiment-farm HTTP server
+// (internal/server): standalone by default, or as one worker in a cluster
+// when pointed at a cpelide-coordinator. In worker mode it registers itself
+// on startup, serves health checks at /healthz, and deregisters on shutdown.
+//
+// With -store, results are persisted to a content-addressed on-disk store
+// under the in-memory LRU; on startup the cache is warmed from the most
+// recently written entries, so a restarted worker (or a fresh one pointed at
+// a shared directory) serves prior results without re-simulating.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -12,8 +23,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/cluster/diskstore"
 	"repro/internal/farm"
 	"repro/internal/metrics"
+	"repro/internal/server"
 )
 
 func main() {
@@ -26,6 +40,12 @@ func main() {
 		jobTO     = flag.Duration("job-timeout", 0, "per-attempt deadline for one simulation (0 = none)")
 		retries   = flag.Int("retries", 0, "extra attempts for transiently failed jobs (timeouts, panics)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		storeDir    = flag.String("store", "", "persistent result-store directory (empty disables; share it between workers for a cluster-wide store)")
+		coordinator = flag.String("coordinator", "", "coordinator base URL to register with (empty = standalone)")
+		advertise   = flag.String("advertise", "", "base URL workers advertise to the coordinator (default http://localhost<addr>)")
+		nodeName    = flag.String("node", "", "worker name for routing and metrics (default worker<addr>)")
+		weight      = flag.Int("weight", 1, "Maglev capacity weight relative to other workers")
 	)
 	flag.Parse()
 
@@ -36,16 +56,43 @@ func main() {
 	logger := slog.New(handler).With("component", "cpelide-server")
 
 	reg := metrics.NewRegistry()
-	eng := farm.New(farm.Options{
+	opts := farm.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheCap,
 		JobTimeout:   *jobTO,
 		Retries:      *retries,
 		Metrics:      reg,
-	})
-	s := newServer(eng, *queueCap)
-	s.instrument(reg, logger)
-	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+	}
+
+	var store *diskstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = diskstore.Open(*storeDir); err != nil {
+			logger.Error("open result store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+
+	eng := farm.New(opts)
+	if store != nil && *cacheCap >= 0 {
+		// Warm the LRU from the store's freshest entries so a restart (or a
+		// new worker on a shared store) starts hot instead of cold.
+		capacity := *cacheCap
+		if capacity == 0 {
+			capacity = farm.DefaultCacheEntries
+		}
+		keys, err := store.RecentKeys(capacity)
+		if err != nil {
+			logger.Warn("scan result store for warm-start", "err", err)
+		} else if n := eng.Warm(keys); n > 0 {
+			logger.Info("cache warmed from store", "dir", *storeDir, "entries", n)
+		}
+	}
+
+	s := server.New(eng, *queueCap)
+	s.Instrument(reg, logger)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,6 +100,39 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "queue", *queueCap)
+
+	// Worker mode: announce ourselves to the coordinator once the listener
+	// is up; a failed registration is fatal because unregistered workers
+	// never receive traffic.
+	if *coordinator != "" {
+		worker := cluster.Worker{
+			Name:   *nodeName,
+			URL:    *advertise,
+			Weight: *weight,
+		}
+		if worker.URL == "" {
+			worker.URL = guessAdvertiseURL(*addr)
+		}
+		if worker.Name == "" {
+			worker.Name = "worker" + *addr
+		}
+		regCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := cluster.RegisterWorker(regCtx, nil, *coordinator, worker)
+		cancel()
+		if err != nil {
+			logger.Error("register with coordinator", "coordinator", *coordinator, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("registered", "coordinator", *coordinator,
+			"node", worker.Name, "url", worker.URL, "weight", worker.Weight)
+		defer func() {
+			deregCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := cluster.DeregisterWorker(deregCtx, nil, *coordinator, worker.Name); err != nil {
+				logger.Warn("deregister", "err", err)
+			}
+		}()
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -94,5 +174,19 @@ func main() {
 	s.Drain()
 	eng.Close()
 	c := eng.Counters()
-	logger.Info("drained", "jobs", c.Jobs, "runs", c.Runs, "cache_hits", c.CacheHits, "errors", c.Errors)
+	logger.Info("drained", "jobs", c.Jobs, "runs", c.Runs, "cache_hits", c.CacheHits,
+		"store_hits", c.StoreHits, "errors", c.Errors)
+}
+
+// guessAdvertiseURL turns a listen address into a base URL other processes
+// on the same host can reach; multi-host deployments must pass -advertise.
+func guessAdvertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "localhost"
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
 }

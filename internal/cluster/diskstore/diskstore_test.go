@@ -1,0 +1,217 @@
+package diskstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func testReport(i int) *cpelide.Report {
+	sheet := stats.New()
+	sheet.Add(stats.L2FlushOps, uint64(i))
+	kd := stats.NewHistogram("kernel duration (cycles)")
+	kd.Observe(uint64(100 + i))
+	return &cpelide.Report{
+		Workload:  "square",
+		Protocol:  "CPElide",
+		Chiplets:  4,
+		Cycles:    uint64(1000 + i),
+		Sheet:     sheet,
+		Kernels:   3,
+		Accesses:  uint64(50 * i),
+		KernelDur: kd,
+		ImageHash: uint64(i) * 0x9e3779b97f4a7c15,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, rep := testKey(1), testReport(1)
+
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("get before put: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	// The store's contract is JSON-level byte identity: a loaded report
+	// must re-serialize exactly as the original did.
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip not byte-identical:\n%s\n%s", a, b)
+	}
+	if got.KernelDur.Count() != 1 || got.KernelDur.Max() != 101 {
+		t.Fatalf("histogram lost in round trip: %+v", got.KernelDur)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len=%d err=%v, want 1", n, err)
+	}
+
+	// Overwrite is idempotent.
+	if err := s.Put(key, rep); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("len=%d after overwrite, want 1", n)
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		testKey(1)[:63] + "Z",                   // uppercase / non-hex
+		"../" + testKey(1)[:61],                 // traversal at full length
+		testKey(1)[:32] + "/" + testKey(1)[:31], // separator inside
+		testKey(1)[:63] + "G",                   // non-hex tail
+	} {
+		if err := s.Put(key, testReport(0)); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Put(%q): err=%v, want ErrBadKey", key, err)
+		}
+		if _, _, err := s.Get(key); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Get(%q): err=%v, want ErrBadKey", key, err)
+		}
+	}
+	if err := s.Put(testKey(1), nil); err == nil {
+		t.Error("Put(nil report) accepted")
+	}
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") accepted")
+	}
+}
+
+func TestCorruptEntryIsErrorNotMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2)
+	if err := s.Put(key, testReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key[:2], key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := s.Get(key)
+	if ok || err == nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v, want miss with error", ok, err)
+	}
+}
+
+func TestRecentKeysOrderAndLimit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct mtimes, oldest first, set explicitly so the test does not
+	// depend on filesystem timestamp resolution.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		key := testKey(i)
+		if err := s.Put(key, testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.RecentKeys(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{testKey(4), testKey(3), testKey(2)}
+	if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("RecentKeys(3) = %v, want %v", keys, want)
+	}
+	all, err := s.RecentKeys(0)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("RecentKeys(0) = %d keys, err=%v, want all 5", len(all), err)
+	}
+	// Stray files that are not content-addressed entries are ignored.
+	if err := os.WriteFile(filepath.Join(dir, testKey(0)[:2], "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 5 {
+		t.Fatalf("len=%d err=%v after stray file, want 5", n, err)
+	}
+}
+
+// TestConcurrentSharedDirectory hammers one directory through two Store
+// handles (standing in for two worker processes): concurrent puts and gets
+// of overlapping keys must never surface a partial file.
+func TestConcurrentSharedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*keys*8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := s1
+			if g%2 == 1 {
+				st = s2
+			}
+			for round := 0; round < 8; round++ {
+				for i := 0; i < keys; i++ {
+					if err := st.Put(testKey(i), testReport(i)); err != nil {
+						errs <- err
+						return
+					}
+					if rep, ok, err := st.Get(testKey((i + g) % keys)); err != nil {
+						errs <- err
+						return
+					} else if ok && rep.Workload != "square" {
+						errs <- fmt.Errorf("partial read: %+v", rep)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := s1.Len(); err != nil || n != keys {
+		t.Fatalf("len=%d err=%v, want %d", n, err, keys)
+	}
+}

@@ -1,0 +1,250 @@
+// Package maglev implements Maglev consistent hashing (Eisenbud et al.,
+// NSDI 2016), the routing core of the experiment cluster: a fixed-size
+// prime-length lookup table that maps 64-bit keys onto a weighted set of
+// backends with near-perfect balance and minimal disruption when the set
+// changes. Removing one of N backends remaps only the slots that backend
+// owned — about 1/N of the key space plus a small reshuffle tail — so the
+// cluster's content-addressed result caches stay warm across node churn.
+//
+// The table is deterministic: the same backend set (names and weights)
+// always populates the same table, regardless of the order mutations were
+// applied in. Backend names are hashed with FNV-1a to derive each backend's
+// slot-preference permutation, and population walks backends in sorted-name
+// order, giving a backend with weight w that many consecutive picks per
+// round (the spike/maglev weighting scheme).
+package maglev
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+// SmallM and BigM are the conventional table sizes from the Maglev paper:
+// primes roughly 100x the expected maximum backend count. SmallM suits test
+// clusters; BigM keeps the balance error under 1% for hundreds of backends.
+const (
+	SmallM = 65537
+	BigM   = 655373
+)
+
+// ErrNotPrime rejects a table size that is not prime (the permutation walk
+// requires gcd(skip, M) == 1 for every skip, which primality guarantees).
+var ErrNotPrime = errors.New("maglev: table size must be prime")
+
+// ErrNoBackend marks lookups and mutations against an unknown or empty
+// backend set.
+var ErrNoBackend = errors.New("maglev: no such backend")
+
+// Table is a weighted Maglev lookup table. All methods are safe for
+// concurrent use; Lookup is lock-cheap (one RLock, one slice index).
+type Table struct {
+	mu       sync.RWMutex
+	m        uint64
+	weights  map[string]int
+	names    []string // sorted keys of weights with weight > 0
+	slots    []int32  // slot -> index into names; -1 when unpopulated
+	rebuilds uint64
+}
+
+// New returns an empty table with m slots. m must be prime and at least 2.
+func New(m uint64) (*Table, error) {
+	if m < 2 || !big.NewInt(0).SetUint64(m).ProbablyPrime(0) {
+		// ProbablyPrime(0) is exact for every uint64.
+		return nil, fmt.Errorf("maglev: table size %d: %w", m, ErrNotPrime)
+	}
+	return &Table{m: m, weights: make(map[string]int)}, nil
+}
+
+// M returns the table size.
+func (t *Table) M() uint64 { return t.m }
+
+// Rebuilds returns how many times the lookup table has been repopulated.
+func (t *Table) Rebuilds() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rebuilds
+}
+
+// Backends returns the current backend set as a name -> weight map copy.
+func (t *Table) Backends() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]int, len(t.weights))
+	for n, w := range t.weights {
+		out[n] = w
+	}
+	return out
+}
+
+// Add registers name with weight 1 (a no-op if it is already present) and
+// returns how many table slots changed owner.
+func (t *Table) Add(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.weights[name]; ok {
+		return 0
+	}
+	t.weights[name] = 1
+	return t.rebuildLocked()
+}
+
+// Remove drops name and returns how many table slots changed owner.
+func (t *Table) Remove(name string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.weights[name]; !ok {
+		return 0, fmt.Errorf("maglev: remove %q: %w", name, ErrNoBackend)
+	}
+	delete(t.weights, name)
+	return t.rebuildLocked(), nil
+}
+
+// SetWeight sets name's weight (adding it if absent) and returns how many
+// table slots changed owner. Weight 0 keeps the backend registered but
+// assigns it no slots; negative weights are rejected.
+func (t *Table) SetWeight(name string, w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("maglev: weight %d for %q must be >= 0", w, name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.weights[name]; ok && old == w {
+		return 0, nil
+	}
+	t.weights[name] = w
+	return t.rebuildLocked(), nil
+}
+
+// Apply replaces the whole backend set atomically and returns how many
+// table slots changed owner. The coordinator uses this after health
+// transitions: one rebuild per reconvergence, not one per node.
+func (t *Table) Apply(backends map[string]int) (int, error) {
+	for n, w := range backends {
+		if w < 0 {
+			return 0, fmt.Errorf("maglev: weight %d for %q must be >= 0", w, n)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := make(map[string]int, len(backends))
+	for n, w := range backends {
+		next[n] = w
+	}
+	t.weights = next
+	return t.rebuildLocked(), nil
+}
+
+// Lookup maps key onto a backend name. ok is false when no backend has a
+// positive weight.
+func (t *Table) Lookup(key uint64) (name string, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.names) == 0 {
+		return "", false
+	}
+	return t.names[t.slots[key%t.m]], true
+}
+
+// rebuildLocked repopulates the slot table from the current weights and
+// returns the number of slots whose owning backend changed. Caller holds mu.
+func (t *Table) rebuildLocked() int {
+	t.rebuilds++
+	oldNames, oldSlots := t.names, t.slots
+
+	names := make([]string, 0, len(t.weights))
+	for n, w := range t.weights {
+		if w > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	t.names = names
+	if len(names) == 0 {
+		t.slots = nil
+		return remapped(oldNames, oldSlots, nil, nil, t.m)
+	}
+
+	type cursor struct {
+		offset, skip uint64
+		next         uint64 // how far the permutation walk has advanced
+		weight       int
+	}
+	cur := make([]cursor, len(names))
+	for i, n := range names {
+		h1, h2 := hash64(n, 0xd1b54a32d192ed03), hash64(n, 0x9e3779b97f4a7c15)
+		cur[i] = cursor{
+			offset: h1 % t.m,
+			skip:   h2%(t.m-1) + 1,
+			weight: t.weights[n],
+		}
+	}
+
+	slots := make([]int32, t.m)
+	for i := range slots {
+		slots[i] = -1
+	}
+	var filled uint64
+	// Round-robin in sorted-name order; a backend with weight w claims up
+	// to w slots per round, so long-run slot share is proportional to
+	// weight (the spike/maglev turn-taking scheme).
+	for filled < t.m {
+		for i := range cur {
+			for take := 0; take < cur[i].weight && filled < t.m; take++ {
+				c := &cur[i]
+				// Walk this backend's preference permutation to its next
+				// unclaimed slot. Each backend visits every slot exactly
+				// once across m steps, so the walk always terminates.
+				for {
+					slot := (c.offset + c.next*c.skip) % t.m
+					c.next++
+					if slots[slot] < 0 {
+						slots[slot] = int32(i)
+						filled++
+						break
+					}
+				}
+			}
+		}
+	}
+	t.slots = slots
+	return remapped(oldNames, oldSlots, names, slots, t.m)
+}
+
+// remapped counts slots whose owning backend name differs between two
+// populated tables (a slot moving to or from "unowned" counts too).
+func remapped(oldNames []string, oldSlots []int32, newNames []string, newSlots []int32, m uint64) int {
+	n := 0
+	for i := uint64(0); i < m; i++ {
+		var oldOwner, newOwner string
+		if oldSlots != nil {
+			oldOwner = oldNames[oldSlots[i]]
+		}
+		if newSlots != nil {
+			newOwner = newNames[newSlots[i]]
+		}
+		if oldOwner != newOwner {
+			n++
+		}
+	}
+	return n
+}
+
+// hash64 is FNV-1a over name, xor-folded with a fixed seed so the two
+// permutation parameters (offset, skip) are decorrelated.
+func hash64(name string, seed uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	v := h.Sum64() ^ seed
+	// One splitmix64 finalization round scatters the xor'd seed through
+	// all 64 bits.
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}

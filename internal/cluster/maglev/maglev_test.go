@@ -1,0 +1,203 @@
+package maglev
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, m uint64) *Table {
+	t.Helper()
+	tab, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableSize(t *testing.T) {
+	for _, m := range []uint64{SmallM, BigM, 1e9 + 7, 1e9 + 9} {
+		if _, err := New(m); err != nil {
+			t.Errorf("New(%d): %v, want prime accepted", m, err)
+		}
+	}
+	for _, m := range []uint64{0, 1, 57, 1 << 60} {
+		if _, err := New(m); !errors.Is(err, ErrNotPrime) {
+			t.Errorf("New(%d): err=%v, want ErrNotPrime", m, err)
+		}
+	}
+}
+
+func TestBasicFunctionality(t *testing.T) {
+	tab := mustNew(t, SmallM)
+
+	if _, ok := tab.Lookup(42); ok {
+		t.Fatal("empty table answered a lookup")
+	}
+
+	backends := make([]string, 6)
+	for i := range backends {
+		backends[i] = fmt.Sprintf("10.0.0.%d:8080", i)
+	}
+	tab.Add(backends[0])
+	tab.Add(backends[1])
+	tab.Add(backends[2])
+	if _, err := tab.SetWeight(backends[3], 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.SetWeight(backends[3], 3); err != nil {
+		t.Fatal(err)
+	}
+	tab.Add(backends[4])
+	if _, err := tab.Remove(backends[4]); err != nil {
+		t.Fatal(err)
+	}
+	tab.Add(backends[5])
+	if _, err := tab.SetWeight(backends[5], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Four backends serve (0, 1, 2 at weight 1; 3 at weight 3); 4 was
+	// removed and 5 is weighted out.
+	rng := rand.New(rand.NewSource(42))
+	freq := make(map[string]uint)
+	for i := 0; i < 1e4; i++ {
+		name, ok := tab.Lookup(rng.Uint64())
+		if !ok {
+			t.Fatal("lookup failed with live backends")
+		}
+		freq[name]++
+	}
+	if len(freq) != 4 {
+		t.Fatalf("got %d serving backends (%v), want 4", len(freq), freq)
+	}
+	for i := 0; i < 4; i++ {
+		if freq[backends[i]] == 0 {
+			t.Errorf("backend %d got no traffic", i)
+		}
+	}
+	// Weight 3 should draw roughly 3x a weight-1 backend's share: 3/6 of
+	// the keys vs 1/6 each. Allow generous tolerance; Maglev balance error
+	// is sub-1% but the key sample adds noise.
+	heavy, light := float64(freq[backends[3]]), float64(freq[backends[0]])
+	if ratio := heavy / light; ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("weight-3 backend drew %.2fx a weight-1 backend, want ~3x (freq %v)", ratio, freq)
+	}
+
+	if _, err := tab.Remove("never-added"); !errors.Is(err, ErrNoBackend) {
+		t.Errorf("Remove(unknown): err=%v, want ErrNoBackend", err)
+	}
+	if _, err := tab.SetWeight(backends[0], -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// TestMinimalDisruption is the cluster's cache-warmth contract (ISSUE 7
+// acceptance): removing one of N backends must remap at most ~2/N of a
+// 10k-key sample — the removed backend's own 1/N share plus a small
+// reshuffle tail — never a full reshuffle.
+func TestMinimalDisruption(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			tab := mustNew(t, SmallM)
+			for i := 0; i < n; i++ {
+				tab.Add(fmt.Sprintf("worker-%d", i))
+			}
+
+			const samples = 10000
+			rng := rand.New(rand.NewSource(7))
+			keys := make([]uint64, samples)
+			before := make([]string, samples)
+			for i := range keys {
+				keys[i] = rng.Uint64()
+				before[i], _ = tab.Lookup(keys[i])
+			}
+
+			if _, err := tab.Remove("worker-0"); err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for i, k := range keys {
+				after, ok := tab.Lookup(k)
+				if !ok {
+					t.Fatal("lookup failed after removal")
+				}
+				if after == "worker-0" {
+					t.Fatal("removed backend still serving")
+				}
+				if after != before[i] {
+					moved++
+				}
+			}
+			frac := float64(moved) / samples
+			if limit := 2.0 / float64(n); frac > limit {
+				t.Errorf("removing 1 of %d backends remapped %.1f%% of keys, want <= %.1f%%",
+					n, 100*frac, 100*limit)
+			}
+			// And at least the removed backend's share must have moved.
+			if min := 0.5 / float64(n); frac < min {
+				t.Errorf("removing 1 of %d backends remapped only %.1f%% of keys; its own share was ~%.1f%%",
+					n, 100*frac, 100/float64(n))
+			}
+		})
+	}
+}
+
+// TestDeterministicPopulation: the same backend set yields the same table
+// regardless of mutation order, so every coordinator replica routes alike.
+func TestDeterministicPopulation(t *testing.T) {
+	a, b := mustNew(t, SmallM), mustNew(t, SmallM)
+	a.Add("w1")
+	a.Add("w2")
+	if _, err := a.SetWeight("w3", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Apply(map[string]int{"w3": 2, "w1": 1, "w2": 1}); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 5000; k++ {
+		an, _ := a.Lookup(k)
+		bn, _ := b.Lookup(k)
+		if an != bn {
+			t.Fatalf("key %d routes to %q vs %q under identical backend sets", k, an, bn)
+		}
+	}
+}
+
+// TestRemappedCount: mutators report slot churn so the coordinator can
+// export it; adding a fresh backend to an empty table claims every slot.
+func TestRemappedCount(t *testing.T) {
+	tab := mustNew(t, SmallM)
+	if got := tab.Add("solo"); got != SmallM {
+		t.Fatalf("first Add remapped %d slots, want all %d", got, SmallM)
+	}
+	if got := tab.Add("solo"); got != 0 {
+		t.Fatalf("re-Add remapped %d slots, want 0", got)
+	}
+	moved := tab.Add("pair")
+	if moved == 0 || moved == SmallM {
+		t.Fatalf("second Add remapped %d slots, want a proper subset", moved)
+	}
+	// Roughly half the slots should have moved to the new peer.
+	if frac := float64(moved) / SmallM; frac < 0.35 || frac > 0.65 {
+		t.Errorf("second Add moved %.1f%% of slots, want ~50%%", 100*frac)
+	}
+	if tab.Rebuilds() != 2 {
+		t.Errorf("rebuilds=%d, want 2 (re-Add of an existing backend skips the rebuild)", tab.Rebuilds())
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab, err := New(SmallM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tab.Add(fmt.Sprintf("worker-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(uint64(i))
+	}
+}

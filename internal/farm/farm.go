@@ -86,6 +86,11 @@ type Options struct {
 	// histogram, and post-run roll-ups of simulation and fault-injection
 	// activity. Nil disables the instrumentation at no cost.
 	Metrics *metrics.Registry
+	// Store, when non-nil, is a persistent result store layered under the
+	// LRU: flight leaders consult it before simulating, and completed runs
+	// are written back, so results survive restarts and are shared between
+	// workers pointed at the same store.
+	Store Store
 }
 
 // Counters is a snapshot of the farm's activity tallies.
@@ -111,6 +116,14 @@ type Counters struct {
 	Retries uint64 `json:"retries"`
 	// Timeouts counts attempts that hit the per-attempt JobTimeout.
 	Timeouts uint64 `json:"timeouts"`
+	// StoreHits counts flights resolved from the persistent store instead
+	// of a fresh simulation (Options.Store only).
+	StoreHits uint64 `json:"store_hits"`
+	// StorePuts counts completed runs written back to the persistent store.
+	StorePuts uint64 `json:"store_puts"`
+	// StoreErrors counts failed store reads and writes (the job itself
+	// still succeeds; the store is an accelerator, never a dependency).
+	StoreErrors uint64 `json:"store_errors"`
 }
 
 // Farm runs jobs on a bounded worker pool behind a content-addressed cache.
@@ -129,6 +142,7 @@ type Farm struct {
 	sheet *stats.Sheet
 	rec   *trace.Recorder
 	m     *farmMetrics
+	store Store
 	epoch time.Time
 
 	jobTimeout time.Duration
@@ -174,6 +188,7 @@ func New(o Options) *Farm {
 		inflight: make(map[string]*flight),
 		sheet:    o.Stats,
 		rec:      o.Trace,
+		store:    o.Store,
 		epoch:    time.Now(),
 
 		jobTimeout: o.JobTimeout,
@@ -268,10 +283,10 @@ func (f *Farm) Submit(ctx context.Context, job Job) (*cpelide.Report, error) {
 	select {
 	case f.tasks <- t:
 	case <-ctx.Done():
-		f.finish(fl, nil, ctx.Err(), false)
+		f.finish(fl, nil, ctx.Err(), srcAbort)
 		f.traceJob(-1, job.Name()+" [canceled]", fl.queuedUS, f.sinceUS(), f.sinceUS())
 	case <-f.quit:
-		f.finish(fl, nil, ErrClosed, false)
+		f.finish(fl, nil, ErrClosed, srcAbort)
 	}
 	<-fl.done
 	return fl.rep, fl.err
@@ -322,21 +337,67 @@ func (f *Farm) worker(id int) {
 	}
 }
 
-// run executes one task on worker id with panic isolation.
+// run executes one task on worker id with panic isolation. A flight leader
+// consults the persistent store first — a hit resolves the flight without
+// simulating — and writes freshly computed reports back.
 func (f *Farm) run(id int, t *task) {
 	startUS := f.sinceUS()
 	if err := t.ctx.Err(); err != nil {
-		f.finish(t.fl, nil, err, false)
+		f.finish(t.fl, nil, err, srcAbort)
 		f.traceJob(id, t.fl.job.Name()+" [canceled]", t.fl.queuedUS, startUS, f.sinceUS())
+		return
+	}
+	if rep, ok := f.storeGet(t.fl.key); ok {
+		f.finish(t.fl, rep, nil, srcStore)
+		f.traceJob(id, t.fl.job.Name()+" [store]", t.fl.queuedUS, startUS, f.sinceUS())
 		return
 	}
 	rep, err := f.executeWithRetry(t.ctx, t.fl.job)
 	state := "done"
 	if err != nil {
 		state = "error"
+	} else {
+		f.storePut(t.fl.key, rep)
 	}
-	f.finish(t.fl, rep, err, err == nil)
+	f.finish(t.fl, rep, err, srcRun)
 	f.traceJob(id, t.fl.job.Name()+" ["+state+"]", t.fl.queuedUS, startUS, f.sinceUS())
+}
+
+// storeGet consults the persistent store; read failures are counted and
+// treated as misses so a damaged store degrades to recomputation.
+func (f *Farm) storeGet(key string) (*cpelide.Report, bool) {
+	if f.store == nil {
+		return nil, false
+	}
+	rep, ok, err := f.store.Get(key)
+	if err != nil {
+		f.mu.Lock()
+		f.c.StoreErrors++
+		f.m.storeErrs.Inc()
+		f.mirrorLocked()
+		f.mu.Unlock()
+		return nil, false
+	}
+	return rep, ok
+}
+
+// storePut writes a freshly computed report back to the persistent store;
+// failures are counted but never fail the job.
+func (f *Farm) storePut(key string, rep *cpelide.Report) {
+	if f.store == nil {
+		return
+	}
+	err := f.store.Put(key, rep) // disk I/O stays outside the farm lock
+	f.mu.Lock()
+	if err != nil {
+		f.c.StoreErrors++
+		f.m.storeErrs.Inc()
+	} else {
+		f.c.StorePuts++
+		f.m.storePuts.Inc()
+	}
+	f.mirrorLocked()
+	f.mu.Unlock()
 }
 
 // executeWithRetry runs j, re-attempting transient failures (per-attempt
@@ -452,9 +513,21 @@ func (f *Farm) execute(ctx context.Context, j Job) (rep *cpelide.Report, err err
 	return cpelide.RunStreamsContext(ctx, j.Config, specs, opt)
 }
 
+// resolveSrc says how a flight got its result, which decides the counter
+// and caching treatment in finish.
+type resolveSrc uint8
+
+const (
+	srcAbort resolveSrc = iota // canceled or closed before running; never cached
+	srcRun                     // freshly simulated
+	srcStore                   // loaded from the persistent store
+)
+
 // finish resolves a flight exactly once: memoize a successful result,
-// update the counters, and release every waiter.
-func (f *Farm) finish(fl *flight, rep *cpelide.Report, err error, cacheIt bool) {
+// update the counters, and release every waiter. Successful results are
+// cached whether simulated or store-loaded; only simulations count as Runs
+// and feed the per-run metric roll-ups.
+func (f *Farm) finish(fl *flight, rep *cpelide.Report, err error, src resolveSrc) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if fl.resolved {
@@ -463,17 +536,21 @@ func (f *Farm) finish(fl *flight, rep *cpelide.Report, err error, cacheIt bool) 
 	fl.resolved = true
 	fl.rep, fl.err = rep, err
 	f.m.jobUS.Observe(f.sinceUS() - fl.queuedUS)
-	if err == nil {
+	switch {
+	case err != nil:
+		f.c.Errors++
+		f.m.errs.Inc()
+	case src == srcRun:
 		f.c.Runs++
 		f.m.runs.Inc()
 		f.m.observeReport(rep)
-		if cacheIt && f.cache.add(fl.key, rep) {
-			f.c.Evictions++
-			f.m.evictions.Inc()
-		}
-	} else {
-		f.c.Errors++
-		f.m.errs.Inc()
+	case src == srcStore:
+		f.c.StoreHits++
+		f.m.storeHits.Inc()
+	}
+	if err == nil && src != srcAbort && f.cache.add(fl.key, rep) {
+		f.c.Evictions++
+		f.m.evictions.Inc()
 	}
 	if f.inflight[fl.key] == fl {
 		delete(f.inflight, fl.key)
@@ -498,6 +575,9 @@ func (f *Farm) mirrorLocked() {
 	f.sheet.Set(stats.FarmEvictions, f.c.Evictions)
 	f.sheet.Set(stats.FarmRetries, f.c.Retries)
 	f.sheet.Set(stats.FarmTimeouts, f.c.Timeouts)
+	f.sheet.Set(stats.FarmStoreHits, f.c.StoreHits)
+	f.sheet.Set(stats.FarmStorePuts, f.c.StorePuts)
+	f.sheet.Set(stats.FarmStoreErrors, f.c.StoreErrors)
 }
 
 // sinceUS returns wall-clock microseconds since the farm started.

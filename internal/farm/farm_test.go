@@ -404,6 +404,59 @@ func TestLRUEvictionRacesSingleFlight(t *testing.T) {
 	if got := f.Counters().CacheHits; got != 1 {
 		t.Fatalf("post-flight resubmit hits=%d, want 1 (result must be resident)", got)
 	}
+	if n := inflightLen(f); n != 0 {
+		t.Fatalf("inflight map holds %d entries after all flights resolved, want 0", n)
+	}
+
+	// Re-admission after eviction: push the contested result out of the
+	// one-slot cache, then resubmit it. The key is gone from both cache and
+	// inflight, so this must start a brand-new flight (not dedup against a
+	// stale entry) and the fresh result must be re-admitted to the cache.
+	evictor := baseJob()
+	evictor.Params.Iters = 4
+	if _, err := f.Submit(context.Background(), evictor); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := f.Submit(context.Background(), contested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 == lrep {
+		t.Fatal("post-eviction resubmit returned the old flight's report; want a recompute")
+	}
+	c = f.Counters()
+	if c.Runs != 6 {
+		t.Fatalf("runs=%d, want 6 (evictor + re-admitted contested job both execute)", c.Runs)
+	}
+	if c.DedupWaits != 1 {
+		t.Fatalf("dedup waits=%d, want 1 (re-admission must not count as a dedup)", c.DedupWaits)
+	}
+	if _, err := f.Submit(context.Background(), contested); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Counters().CacheHits; got != 2 {
+		t.Fatalf("hits=%d, want 2 (re-admitted result must be resident again)", got)
+	}
+
+	// Canceled submissions must not leak flights either: cancel a queued
+	// job before it runs and verify the inflight map drains.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canceled := baseJob()
+	canceled.Params.Iters = 99
+	if _, err := f.Submit(ctx, canceled); err == nil {
+		t.Fatal("submit with canceled context succeeded")
+	}
+	if n := inflightLen(f); n != 0 {
+		t.Fatalf("inflight map holds %d entries after cancel/evict scenarios, want 0", n)
+	}
+}
+
+// inflightLen reads the single-flight registry size under the farm lock.
+func inflightLen(f *Farm) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.inflight)
 }
 
 // TestRetryAfterTransientFailure checks panicking attempts are re-run with

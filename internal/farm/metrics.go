@@ -12,10 +12,11 @@ import (
 // /metrics series set is stable from the first scrape; with a nil registry
 // every metric is a detached no-op, so instrumentation sites need no guards.
 type farmMetrics struct {
-	jobs, hits, misses, dedup    *metrics.Counter
-	runs, errs, panics           *metrics.Counter
-	evictions, retries, timeouts *metrics.Counter
-	jobUS                        *metrics.Histogram
+	jobs, hits, misses, dedup       *metrics.Counter
+	runs, errs, panics              *metrics.Counter
+	evictions, retries, timeouts    *metrics.Counter
+	storeHits, storePuts, storeErrs *metrics.Counter
+	jobUS                           *metrics.Histogram
 
 	simKernels, simAccesses, simCycles, simStale *metrics.Counter
 
@@ -39,6 +40,9 @@ func newFarmMetrics(f *Farm, r *metrics.Registry) *farmMetrics {
 		evictions: r.Counter("farm_cache_evictions_total", "Cache entries dropped by the LRU bound."),
 		retries:   r.Counter("farm_retries_total", "Re-executed attempts after transient failures."),
 		timeouts:  r.Counter("farm_timeouts_total", "Attempts that hit the per-attempt job timeout."),
+		storeHits: r.Counter("farm_store_hits_total", "Flights resolved from the persistent result store instead of simulating."),
+		storePuts: r.Counter("farm_store_puts_total", "Completed runs written back to the persistent result store."),
+		storeErrs: r.Counter("farm_store_errors_total", "Failed persistent-store reads and writes (jobs still succeed)."),
 		jobUS:     r.Histogram("farm_job_duration_us", "Per-job wall time from queue to resolution, microseconds."),
 
 		simKernels:  r.Counter("sim_kernels_total", "Dynamic kernels executed across all completed runs."),

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "Jobs.").Add(7)
+	reg.Counter(`routed_total{node="w1"}`, "Routed.").Add(3)
+	reg.Gauge("depth", "Depth.").Set(-2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+
+	for _, tc := range []struct {
+		series string
+		want   float64
+		ok     bool
+	}{
+		{"jobs_total", 7, true},
+		{`routed_total{node="w1"}`, 3, true},
+		{"depth", -2, true},
+		{"jobs", 0, false},             // prefix, not a full match
+		{"jobs_total_extra", 0, false}, // absent
+	} {
+		got, ok := ParseValue(exp, tc.series)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("ParseValue(%q) = %v, %v; want %v, %v", tc.series, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := ParseValue("", "jobs_total"); ok {
+		t.Error("ParseValue on empty exposition returned ok")
+	}
+}

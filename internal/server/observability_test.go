@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"io"
@@ -15,17 +15,17 @@ import (
 
 // newInstrumentedServer builds a server with a live registry and a logger
 // capturing into buf (pass nil to discard).
-func newInstrumentedServer(t *testing.T, buf io.Writer) (*server, *httptest.Server, *metrics.Registry) {
+func newInstrumentedServer(t *testing.T, buf io.Writer) (*Server, *httptest.Server, *metrics.Registry) {
 	t.Helper()
 	reg := metrics.NewRegistry()
 	eng := farm.New(farm.Options{Workers: 2, Metrics: reg})
 	t.Cleanup(eng.Close)
-	s := newServer(eng, 8)
+	s := New(eng, 8)
 	if buf == nil {
 		buf = io.Discard
 	}
-	s.instrument(reg, slog.New(slog.NewTextHandler(buf, nil)))
-	ts := httptest.NewServer(s.handler())
+	s.Instrument(reg, slog.New(slog.NewTextHandler(buf, nil)))
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(s.Drain)
 	return s, ts, reg
@@ -75,7 +75,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var st statusResponse
+		var st StatusResponse
 		get(t, ts, "/v1/jobs/"+sr.ID, &st)
 		if st.Status == "done" {
 			break

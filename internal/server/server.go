@@ -1,10 +1,18 @@
-// Command cpelide-server exposes the experiment farm over HTTP/JSON: submit
+// Package server exposes the experiment farm over HTTP/JSON: submit
 // simulation jobs, poll their status, fetch full reports, and regenerate
 // whole paper figures, all backed by the farm's worker pool and
 // content-addressed result cache. Job IDs are the canonical content hash of
 // the request, so resubmitting an identical job returns the same ID and —
 // once it has run anywhere in the process — its cached report.
-package main
+//
+// cmd/cpelide-server wraps this package as a standalone binary; in a cluster
+// the same server runs as a worker behind cmd/cpelide-coordinator, which
+// routes jobs here by their content hash.
+//
+// Every non-2xx response uses one JSON shape, ErrorResponse: a human-readable
+// message, a stable machine-readable code (the ErrCode* constants), and the
+// request's correlation ID.
+package server
 
 import (
 	"context"
@@ -27,10 +35,10 @@ import (
 	"repro/internal/metrics"
 )
 
-// jobRequest is the POST /v1/jobs body. Either workload (single stream
+// JobRequest is the POST /v1/jobs body. Either workload (single stream
 // across all chiplets) or streams (explicit chiplet bindings) names what to
 // run; everything else tunes the machine and protocol.
-type jobRequest struct {
+type JobRequest struct {
 	Workload string           `json:"workload,omitempty"`
 	Streams  []farm.StreamJob `json:"streams,omitempty"`
 
@@ -70,8 +78,10 @@ func parseProtocol(s string) (cpelide.Protocol, error) {
 	return 0, fmt.Errorf("unknown protocol %q", s)
 }
 
-// job converts the request into a farm job.
-func (r jobRequest) job() (farm.Job, error) {
+// Job converts the request into a farm job. The cluster coordinator uses
+// it to compute a submission's content hash for routing without running
+// anything.
+func (r JobRequest) Job() (farm.Job, error) {
 	proto, err := parseProtocol(r.Protocol)
 	if err != nil {
 		return farm.Job{}, err
@@ -133,7 +143,7 @@ func (s *serverJob) snapshot() (status string, rep *cpelide.Report, errMsg strin
 }
 
 // server owns the farm, a bounded submission queue, and the job registry.
-type server struct {
+type Server struct {
 	farm     *farm.Farm
 	queueCap int
 
@@ -151,13 +161,13 @@ type server struct {
 	wg sync.WaitGroup // dispatcher goroutines
 }
 
-// newServer starts a server whose submission queue holds queueCap pending
+// New starts a server whose submission queue holds queueCap pending
 // jobs and whose dispatchers feed the given farm. Call Drain to stop.
-func newServer(f *farm.Farm, queueCap int) *server {
+func New(f *farm.Farm, queueCap int) *Server {
 	if queueCap <= 0 {
 		queueCap = 64
 	}
-	s := &server{
+	s := &Server{
 		farm:     f,
 		queueCap: queueCap,
 		queue:    make(chan *serverJob, queueCap),
@@ -173,8 +183,8 @@ func newServer(f *farm.Farm, queueCap int) *server {
 
 // instrument attaches the observability surface: the metrics registry
 // (server gauges; the HTTP middleware and /metrics mount read it too) and
-// the structured logger. Call before handler(); both may be nil.
-func (s *server) instrument(reg *metrics.Registry, logger *slog.Logger) {
+// the structured logger. Call before Handler(); both may be nil.
+func (s *Server) Instrument(reg *metrics.Registry, logger *slog.Logger) {
 	s.reg = reg
 	s.log = logger
 	reg.GaugeFunc("server_queue_depth", "Jobs waiting for a dispatcher.", func() int64 {
@@ -190,7 +200,7 @@ func (s *server) instrument(reg *metrics.Registry, logger *slog.Logger) {
 }
 
 // logger returns the structured logger, discarding when none was attached.
-func (s *server) logger() *slog.Logger {
+func (s *Server) logger() *slog.Logger {
 	if s.log == nil {
 		return slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -200,7 +210,7 @@ func (s *server) logger() *slog.Logger {
 // dispatch feeds queued jobs into the farm until the queue is closed. The
 // farm's own pool bounds simulation parallelism; one dispatcher per worker
 // keeps it saturated while cache hits return immediately.
-func (s *server) dispatch() {
+func (s *Server) dispatch() {
 	defer s.wg.Done()
 	for sj := range s.queue {
 		sj.set("running", nil, "")
@@ -220,7 +230,7 @@ func (s *server) dispatch() {
 
 // Drain stops accepting submissions, waits for every queued job to finish,
 // and returns. The farm itself is left to the caller to Close.
-func (s *server) Drain() {
+func (s *Server) Drain() {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -244,7 +254,7 @@ var figures = map[string]func(experiments.Params) (*experiments.Result, error){
 	"multistream": experiments.MultiStream,
 }
 
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -252,8 +262,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Everything unmatched gets the JSON error schema, never net/http's
+	// text/plain 404 page.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
 	})
 	return s.middleware(mux)
 }
@@ -285,7 +298,7 @@ func (w *statusWriter) WriteHeader(code int) {
 // middleware tags every response with an X-Request-ID (honoring one the
 // client sent, so IDs correlate across services), logs the request with it,
 // and feeds the HTTP metrics. Applied to every route, errors included.
-func (s *server) middleware(next http.Handler) http.Handler {
+func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
@@ -305,7 +318,7 @@ func (s *server) middleware(next http.Handler) http.Handler {
 	})
 }
 
-type statusResponse struct {
+type StatusResponse struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
@@ -319,27 +332,51 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes. Clients switch on Code; messages and
+// HTTP statuses may be reworded, codes may not.
+const (
+	ErrCodeBadRequest = "bad_request" // malformed body, unknown field values
+	ErrCodeNotFound   = "not_found"   // unknown job, figure, or endpoint
+	ErrCodeQueueFull  = "queue_full"  // submission shed; retry after backoff
+	ErrCodeDraining   = "draining"    // shutting down; resubmit elsewhere
+	ErrCodeJobFailed  = "job_failed"  // the simulation itself errored
+	ErrCodeInternal   = "internal"    // anything else server-side
+)
+
+// ErrorResponse is the uniform JSON error body for every non-2xx response.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id"`
+}
+
+// writeErr emits the uniform error schema. The request ID comes off the
+// response header, where the middleware put it before the handler ran.
+func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		Code:      code,
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // handleSubmit accepts a job (202), reports an already-known job's state
 // (200), sheds load when the queue is full (429), or rejects during
 // shutdown (503).
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 		return
 	}
-	job, err := req.job()
+	job, err := req.Job()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	id, err := job.Key()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 
@@ -347,12 +384,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if sj, ok := s.jobs[id]; ok {
 		s.mu.Unlock()
 		status, _, errMsg := sj.snapshot()
-		writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: status, Error: errMsg})
+		writeJSON(w, http.StatusOK, StatusResponse{ID: id, Status: status, Error: errMsg})
 		return
 	}
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeDraining, "server is draining")
 		return
 	}
 	sj := &serverJob{id: id, job: job, status: "queued"}
@@ -361,37 +398,37 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[id] = sj
 		s.mu.Unlock()
 		s.logger().Info("job accepted", "job_id", id, "job", job.Name())
-		writeJSON(w, http.StatusAccepted, statusResponse{ID: id, Status: "queued"})
+		writeJSON(w, http.StatusAccepted, StatusResponse{ID: id, Status: "queued"})
 	default:
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "queue full (%d pending)", s.queueCap)
+		writeErr(w, http.StatusTooManyRequests, ErrCodeQueueFull, "queue full (%d pending)", s.queueCap)
 	}
 }
 
-func (s *server) lookup(id string) (*serverJob, bool) {
+func (s *Server) lookup(id string) (*serverJob, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sj, ok := s.jobs[id]
 	return sj, ok
 }
 
-func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sj, ok := s.lookup(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown job %q", id)
 		return
 	}
 	status, _, errMsg := sj.snapshot()
-	writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: status, Error: errMsg})
+	writeJSON(w, http.StatusOK, StatusResponse{ID: id, Status: status, Error: errMsg})
 }
 
-func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sj, ok := s.lookup(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown job %q", id)
 		return
 	}
 	status, rep, errMsg := sj.snapshot()
@@ -399,24 +436,24 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case "done":
 		writeJSON(w, http.StatusOK, rep)
 	case "error":
-		writeErr(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+		writeErr(w, http.StatusInternalServerError, ErrCodeJobFailed, "job failed: %s", errMsg)
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusAccepted, statusResponse{ID: id, Status: status})
+		writeJSON(w, http.StatusAccepted, StatusResponse{ID: id, Status: status})
 	}
 }
 
 // handleFigure regenerates one paper figure synchronously through the farm;
 // repeated calls are near-free thanks to the result cache. Query params:
 // scale, iters, workloads (comma-separated), and chiplets (fig8 only).
-func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	p := experiments.Params{Farm: s.farm}
 	q := r.URL.Query()
 	if v := q.Get("scale"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad scale %q", v)
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "bad scale %q", v)
 			return
 		}
 		p.Scale = f
@@ -424,7 +461,7 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("iters"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad iters %q", v)
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "bad iters %q", v)
 			return
 		}
 		p.Iters = n
@@ -438,13 +475,13 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get("chiplets"); v != "" {
 			var err error
 			if n, err = strconv.Atoi(v); err != nil {
-				writeErr(w, http.StatusBadRequest, "bad chiplets %q", v)
+				writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "bad chiplets %q", v)
 				return
 			}
 		}
 		results, err := experiments.Figure8(p, n)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, results[n])
@@ -452,18 +489,18 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	fn, ok := figures[name]
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown figure %q (have fig2, fig8, fig9, fig10, table2, scaling, multistream)", name)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "unknown figure %q (have fig2, fig8, fig9, fig10, table2, scaling, multistream)", name)
 		return
 	}
 	res, err := fn(p)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-type statsResponse struct {
+type StatsResponse struct {
 	Farm      farm.Counters `json:"farm"`
 	CacheLen  int           `json:"cache_len"`
 	QueueLen  int           `json:"queue_len"`
@@ -473,9 +510,9 @@ type statsResponse struct {
 	Draining  bool          `json:"draining"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	resp := statsResponse{
+	resp := StatsResponse{
 		Farm:      s.farm.Counters(),
 		CacheLen:  s.farm.CacheLen(),
 		QueueLen:  len(s.queue),
@@ -486,4 +523,28 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealth is the liveness and readiness probe: 200 while serving, 503
+// once draining so load balancers and the cluster coordinator stop routing
+// jobs here before the listener actually goes away.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeDraining, "server is draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// WriteJSON and WriteError expose the response helpers to sibling services
+// (the cluster coordinator) so every process in a deployment speaks the same
+// response and error schema.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError emits the uniform error schema (see ErrorResponse).
+func WriteError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeErr(w, status, code, format, args...)
 }

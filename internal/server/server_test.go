@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -13,14 +13,14 @@ import (
 	"repro/internal/farm"
 )
 
-func post(t *testing.T, ts *httptest.Server, body string) (int, statusResponse) {
+func post(t *testing.T, ts *httptest.Server, body string) (int, StatusResponse) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var sr statusResponse
+	var sr StatusResponse
 	_ = json.NewDecoder(resp.Body).Decode(&sr)
 	return resp.StatusCode, sr
 }
@@ -44,8 +44,8 @@ func get(t *testing.T, ts *httptest.Server, path string, v any) int {
 func TestSubmitPollResult(t *testing.T) {
 	eng := farm.New(farm.Options{Workers: 2})
 	defer eng.Close()
-	s := newServer(eng, 8)
-	ts := httptest.NewServer(s.handler())
+	s := New(eng, 8)
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain()
 
@@ -60,7 +60,7 @@ func TestSubmitPollResult(t *testing.T) {
 
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var st statusResponse
+		var st StatusResponse
 		if code := get(t, ts, "/v1/jobs/"+sr.ID, &st); code != http.StatusOK {
 			t.Fatalf("status: got %d, want 200", code)
 		}
@@ -112,8 +112,8 @@ func TestSubmitPollResult(t *testing.T) {
 func TestBurstBackpressureAndDrain(t *testing.T) {
 	eng := farm.New(farm.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng, 1)
-	ts := httptest.NewServer(s.handler())
+	s := New(eng, 1)
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	// Occupy the single dispatcher with a full-size run (~hundreds of ms)
@@ -165,7 +165,7 @@ func TestBurstBackpressureAndDrain(t *testing.T) {
 		t.Fatal("Drain did not return")
 	}
 	for _, id := range accepted {
-		var st statusResponse
+		var st StatusResponse
 		if code := get(t, ts, "/v1/jobs/"+id, &st); code != http.StatusOK {
 			t.Fatalf("status %s: got %d, want 200", id, code)
 		}
@@ -186,8 +186,8 @@ func TestBurstBackpressureAndDrain(t *testing.T) {
 func TestBackpressureRetryAfter(t *testing.T) {
 	eng := farm.New(farm.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng, 1)
-	ts := httptest.NewServer(s.handler())
+	s := New(eng, 1)
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain()
 
@@ -208,7 +208,7 @@ func TestBackpressureRetryAfter(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var st statusResponse
+		var st StatusResponse
 		get(t, ts, "/v1/jobs/"+first.ID, &st)
 		if st.Status == "running" {
 			break
@@ -259,8 +259,8 @@ func TestBackpressureRetryAfter(t *testing.T) {
 func TestSubmitFaultSpec(t *testing.T) {
 	eng := farm.New(farm.Options{Workers: 1})
 	defer eng.Close()
-	s := newServer(eng, 4)
-	ts := httptest.NewServer(s.handler())
+	s := New(eng, 4)
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain()
 
@@ -275,7 +275,7 @@ func TestSubmitFaultSpec(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var st statusResponse
+		var st StatusResponse
 		get(t, ts, "/v1/jobs/"+sr.ID, &st)
 		if st.Status == "done" {
 			break
@@ -320,8 +320,8 @@ func TestFigureAndStatsEndpoints(t *testing.T) {
 	}
 	eng := farm.New(farm.Options{Workers: 2})
 	defer eng.Close()
-	s := newServer(eng, 8)
-	ts := httptest.NewServer(s.handler())
+	s := New(eng, 8)
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain()
 
@@ -342,7 +342,7 @@ func TestFigureAndStatsEndpoints(t *testing.T) {
 		t.Fatalf("unknown figure: got %d, want 404", code)
 	}
 
-	var st statsResponse
+	var st StatsResponse
 	if code := get(t, ts, "/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: got %d, want 200", code)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -151,6 +152,54 @@ func (h *Histogram) CumulativeBuckets() []Bucket {
 		}
 	}
 	return out
+}
+
+// histogramJSON is the wire form of a Histogram: the scalar summary plus
+// the nonzero buckets as [index, count] pairs in ascending index order, so
+// marshaling is deterministic and sparse histograms stay compact.
+type histogramJSON struct {
+	Name    string      `json:"name,omitempty"`
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Min     uint64      `json:"min"`
+	Max     uint64      `json:"max"`
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the histogram losslessly, so Reports survive the
+// cluster's persistent result store (internal/cluster/diskstore) and HTTP
+// serving with their latency distributions intact. Output is deterministic:
+// buckets are emitted in ascending index order.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	if h == nil {
+		return []byte("null"), nil
+	}
+	wire := histogramJSON{Name: h.name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n != 0 {
+			wire.Buckets = append(wire.Buckets, [2]uint64{uint64(i), n})
+		}
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON restores a histogram marshaled by MarshalJSON. Legacy
+// artifacts serialized before histograms had a wire form decode as empty
+// histograms, and out-of-range bucket indexes are an error rather than a
+// truncation.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var wire histogramJSON
+	if err := json.Unmarshal(b, &wire); err != nil {
+		return err
+	}
+	*h = Histogram{name: wire.Name, count: wire.Count, sum: wire.Sum, min: wire.Min, max: wire.Max}
+	for _, bk := range wire.Buckets {
+		if bk[0] >= uint64(len(h.buckets)) {
+			return fmt.Errorf("stats: histogram bucket index %d out of range", bk[0])
+		}
+		h.buckets[bk[0]] = bk[1]
+	}
+	return nil
 }
 
 // String renders the nonzero buckets as an aligned table with a bar chart.

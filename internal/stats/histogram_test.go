@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -146,5 +148,50 @@ func TestHistogramString(t *testing.T) {
 	}
 	if !strings.Contains(out, "#") {
 		t.Errorf("missing bar chart: %q", out)
+	}
+}
+
+// TestHistogramJSONRoundTrip: a histogram must survive marshal/unmarshal
+// losslessly and re-marshal to identical bytes — the property the cluster's
+// persistent result store relies on to serve byte-identical reports.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram("kernel duration (cycles)")
+	for _, v := range []uint64{0, 1, 2, 3, 900, 1 << 40, 1<<63 + 5} {
+		h.Observe(v)
+	}
+	first, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Sum() != h.Sum() ||
+		back.Min() != h.Min() || back.Max() != h.Max() ||
+		back.Name() != h.Name() || back.Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, *h)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-marshal differs:\n%s\n%s", first, second)
+	}
+
+	var nilH *Histogram
+	if b, err := json.Marshal(nilH); err != nil || string(b) != "null" {
+		t.Fatalf("nil histogram marshaled to %q (%v)", b, err)
+	}
+	// Legacy artifacts serialized histograms as {} before the wire form
+	// existed; they must decode as empty.
+	var legacy Histogram
+	if err := json.Unmarshal([]byte("{}"), &legacy); err != nil || legacy.Count() != 0 {
+		t.Fatalf("legacy {} decode: %v count=%d", err, legacy.Count())
+	}
+	var bad Histogram
+	if err := json.Unmarshal([]byte(`{"buckets":[[99,1]]}`), &bad); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
 	}
 }

@@ -96,6 +96,9 @@ const (
 	FarmEvictions   Counter = "farm.cache_evictions"
 	FarmRetries     Counter = "farm.retries"
 	FarmTimeouts    Counter = "farm.timeouts"
+	FarmStoreHits   Counter = "farm.store_hits"
+	FarmStorePuts   Counter = "farm.store_puts"
+	FarmStoreErrors Counter = "farm.store_errors"
 )
 
 // Timing counters.
@@ -127,6 +130,9 @@ var maxSemantics = map[Counter]bool{
 	FarmEvictions:   true,
 	FarmRetries:     true,
 	FarmTimeouts:    true,
+	FarmStoreHits:   true,
+	FarmStorePuts:   true,
+	FarmStoreErrors: true,
 }
 
 // IsMax reports whether counter c carries peak/level semantics: Merge takes
