@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint cpelint fmt bench bench-gate cluster loadgen cluster-smoke
+.PHONY: all build test race lint cpelint fmt bench bench-gate cluster loadgen cluster-smoke chaos-smoke
 
 all: build test lint
 
@@ -45,6 +45,13 @@ loadgen:
 # that must re-simulate nothing. Writes BENCH_cluster.json.
 cluster-smoke:
 	@bash scripts/cluster_smoke.sh
+
+# The CI chaos gate, locally: SIGKILL the coordinator mid-campaign, restart
+# it over the same journal (zero lost jobs), corrupt one store file
+# (quarantined + recomputed, store_corrupt_total == quarantine count).
+# Writes BENCH_chaos.json.
+chaos-smoke:
+	@bash scripts/chaos_smoke.sh
 
 # Re-measure the committed performance baseline (run on a quiet machine).
 bench:

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/journal"
 	"repro/internal/metrics"
 )
 
@@ -27,6 +28,9 @@ func main() {
 		failThreshold = flag.Int("fail-threshold", 2, "consecutive failed probes before a worker is marked dead")
 		proxyTimeout  = flag.Duration("proxy-timeout", 30*time.Second, "per-request bound for proxied calls")
 		tableSize     = flag.Uint64("maglev-m", 0, "Maglev table size (prime; 0 = 65537)")
+		journalPath   = flag.String("journal", "", "write-ahead journal path; restart over the same file recovers unfinished jobs and worker membership (empty = no journal)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "re-issue a slow submit to the next backend after this delay (0 = no hedging)")
+		hedgePct      = flag.Float64("hedge-percentile", 0.99, "raise the hedge delay to this observed submit-latency quantile")
 		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
@@ -37,14 +41,31 @@ func main() {
 	}
 	logger := slog.New(handler).With("component", "cpelide-coordinator")
 
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		var err error
+		jnl, err = journal.Open(*journalPath, journal.Options{})
+		if err != nil {
+			logger.Error("open journal", "path", *journalPath, "err", err)
+			os.Exit(1)
+		}
+		st := jnl.Stats()
+		logger.Info("journal open", "path", *journalPath,
+			"recovered_jobs", st.RecoveredJobs, "recovered_workers", st.RecoveredWorkers,
+			"truncated_bytes", st.TruncatedBytes)
+	}
+
 	reg := metrics.NewRegistry()
 	coord, err := cluster.NewCoordinator(cluster.Options{
-		TableSize:      *tableSize,
-		HealthInterval: *healthEvery,
-		FailThreshold:  *failThreshold,
-		ProxyTimeout:   *proxyTimeout,
-		Metrics:        reg,
-		Logger:         logger,
+		TableSize:       *tableSize,
+		HealthInterval:  *healthEvery,
+		FailThreshold:   *failThreshold,
+		ProxyTimeout:    *proxyTimeout,
+		Metrics:         reg,
+		Logger:          logger,
+		Journal:         jnl,
+		HedgeAfter:      *hedgeAfter,
+		HedgePercentile: *hedgePct,
 	})
 	if err != nil {
 		logger.Error("start coordinator", "err", err)

@@ -71,6 +71,12 @@ func main() {
 			logger.Error("open result store", "dir", *storeDir, "err", err)
 			os.Exit(1)
 		}
+		corrupt := reg.Counter("store_corrupt_total",
+			"Store entries that failed integrity validation and were quarantined.")
+		store.OnCorrupt = func(key string) {
+			corrupt.Inc()
+			logger.Warn("store entry quarantined", "key", key)
+		}
 		opts.Store = store
 	}
 

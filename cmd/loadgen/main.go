@@ -28,6 +28,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "schedule seed (campaigns are reproducible per seed)")
 		poll        = flag.Duration("poll", 25*time.Millisecond, "status-poll interval")
 		jobTimeout  = flag.Duration("job-timeout", 120*time.Second, "per-job completion bound; beyond it a job counts as lost")
+		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "first backoff after a transient transport error (coordinator bounce)")
+		retryMax    = flag.Duration("retry-max", 2*time.Second, "transient-error backoff cap")
 		jsonOut     = flag.Bool("json", false, "print the result as JSON instead of text")
 		outPath     = flag.String("out", "", "also write the JSON result to this file")
 	)
@@ -43,15 +45,17 @@ func main() {
 	defer stop()
 
 	res, err := cluster.Campaign{
-		BaseURL:      *addr,
-		Jobs:         *jobs,
-		Distinct:     *distinct,
-		Concurrency:  *concurrency,
-		Scale:        *scale,
-		Mix:          mix,
-		Seed:         *seed,
-		PollInterval: *poll,
-		JobTimeout:   *jobTimeout,
+		BaseURL:        *addr,
+		Jobs:           *jobs,
+		Distinct:       *distinct,
+		Concurrency:    *concurrency,
+		Scale:          *scale,
+		Mix:            mix,
+		Seed:           *seed,
+		PollInterval:   *poll,
+		JobTimeout:     *jobTimeout,
+		RetryBaseDelay: *retryBase,
+		RetryMaxDelay:  *retryMax,
 	}.Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,8 +76,8 @@ func main() {
 	if *jsonOut {
 		fmt.Println(string(blob))
 	} else {
-		fmt.Printf("jobs        %d (completed %d, failed %d, lost %d, resubmits %d)\n",
-			res.Jobs, res.Completed, res.Failed, res.Lost, res.Resubmits)
+		fmt.Printf("jobs        %d (completed %d, failed %d, lost %d, resubmits %d, transient retries %d)\n",
+			res.Jobs, res.Completed, res.Failed, res.Lost, res.Resubmits, res.TransientRetries)
 		fmt.Printf("elapsed     %.1f ms  (%.1f jobs/s)\n", res.ElapsedMS, res.ThroughputJPS)
 		fmt.Printf("latency ms  p50 %.1f  p90 %.1f  p99 %.1f\n", res.P50MS, res.P90MS, res.P99MS)
 		fmt.Printf("cache       hit rate %.2f (lru %d, dedup %d, store %d; runs %d)\n",

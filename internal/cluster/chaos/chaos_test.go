@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func newBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func TestPassthroughWhenDisabled(t *testing.T) {
+	srv := newBackend(t, "hello")
+	tr := NewTransport(nil, Config{Seed: 1})
+	client := &http.Client{Transport: tr}
+	resp, b, err := get(t, client, srv.URL)
+	if err != nil || resp.StatusCode != 200 || string(b) != "hello" {
+		t.Fatalf("passthrough: %v %v %q", resp, err, b)
+	}
+	if c := tr.Counters(); c.Passed != 1 || c.Drops+c.Delays+c.Truncates+c.Errs5xx+c.Partitions != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	srv := newBackend(t, "x")
+	run := func(seed uint64) Counters {
+		tr := NewTransport(nil, Config{Seed: seed, DropRate: 0.3, Err5xxRate: 0.2})
+		client := &http.Client{Transport: tr}
+		for i := 0; i < 100; i++ {
+			if resp, _, err := get(t, client, srv.URL); err == nil {
+				_ = resp
+			}
+		}
+		return tr.Counters()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different schedule: %+v vs %+v", a, b)
+	}
+	c := run(8)
+	if a == c {
+		t.Fatalf("different seeds, identical schedule: %+v", a)
+	}
+	if a.Drops == 0 || a.Errs5xx == 0 {
+		t.Fatalf("fault mix never fired: %+v", a)
+	}
+}
+
+func TestDropIsTransportError(t *testing.T) {
+	srv := newBackend(t, "x")
+	tr := NewTransport(nil, Config{Seed: 1, DropRate: 1})
+	client := &http.Client{Transport: tr}
+	_, _, err := get(t, client, srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("dropped request: err = %v, want reset-style transport error", err)
+	}
+	if c := tr.Counters(); c.Drops != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestInjected5xx(t *testing.T) {
+	srv := newBackend(t, "x")
+	tr := NewTransport(nil, Config{Seed: 1, Err5xxRate: 1})
+	client := &http.Client{Transport: tr}
+	resp, _, err := get(t, client, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected 5xx: resp=%v err=%v", resp, err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	srv := newBackend(t, "x")
+	tr := NewTransport(nil, Config{Seed: 1, DelayRate: 1, Delay: 30 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, _, err := get(t, client, srv.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("delayed request: resp=%v err=%v", resp, err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms", d)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	body := strings.Repeat("payload-", 512)
+	srv := newBackend(t, body)
+	tr := NewTransport(nil, Config{Seed: 1, TruncateRate: 1})
+	client := &http.Client{Transport: tr}
+	_, b, err := get(t, client, srv.URL)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated read: err = %v, want unexpected EOF", err)
+	}
+	if len(b) == 0 || len(b) >= len(body) {
+		t.Fatalf("read %d bytes of %d, want a strict prefix", len(b), len(body))
+	}
+	if body[:len(b)] != string(b) {
+		t.Fatal("truncated body is not a prefix of the original")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	srv := newBackend(t, "x")
+	tr := NewTransport(nil, Config{Seed: 1})
+	client := &http.Client{Transport: tr}
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	tr.SetPartitioned(host, true)
+	if _, _, err := get(t, client, srv.URL); err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("partitioned host: err = %v, want refused-style error", err)
+	}
+	tr.SetPartitioned(host, false)
+	if resp, _, err := get(t, client, srv.URL); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healed host: resp=%v err=%v", resp, err)
+	}
+	if c := tr.Counters(); c.Partitions != 1 || c.Passed != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestConcurrentTransport(t *testing.T) {
+	srv := newBackend(t, "x")
+	tr := NewTransport(nil, Config{Seed: 3, DropRate: 0.2, Err5xxRate: 0.1, TruncateRate: 0.1})
+	client := &http.Client{Transport: tr}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(srv.URL)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	c := tr.Counters()
+	if total := c.Drops + c.Delays + c.Truncates + c.Errs5xx + c.Passed; total != 400 {
+		t.Fatalf("accounted %d of 400 requests: %+v", total, c)
+	}
+}
+
+// memStore is a minimal in-memory farm.Store for FlakyStore tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string]*cpelide.Report
+}
+
+func (s *memStore) Get(key string) (*cpelide.Report, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.m[key]
+	return rep, ok, nil
+}
+
+func (s *memStore) Put(key string, rep *cpelide.Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*cpelide.Report)
+	}
+	s.m[key] = rep
+	return nil
+}
+
+func TestFlakyStore(t *testing.T) {
+	inner := &memStore{}
+	fs := NewFlakyStore(inner, 9, 0.5, 0.5)
+	rep := &cpelide.Report{Workload: "square"}
+	var getErrs, putErrs int
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if err := fs.Put(key, rep); err != nil {
+			putErrs++
+		}
+		if _, _, err := fs.Get(key); err != nil {
+			getErrs++
+		}
+	}
+	if getErrs == 0 || putErrs == 0 {
+		t.Fatalf("injection never fired: get=%d put=%d", getErrs, putErrs)
+	}
+	c := fs.Counters()
+	if int(c.GetErrs) != getErrs || int(c.PutErrs) != putErrs {
+		t.Fatalf("counters %+v disagree with observed get=%d put=%d", c, getErrs, putErrs)
+	}
+	// The inner store only sees the operations that passed.
+	if len(inner.m) == 0 || len(inner.m) == 200 {
+		t.Fatalf("inner store has %d entries, want a strict subset of 200", len(inner.m))
+	}
+	// Disabled rates consume nothing and never fail.
+	quiet := NewFlakyStore(inner, 9, 0, 0)
+	for i := 0; i < 50; i++ {
+		if err := quiet.Put(fmt.Sprintf("%064x", i), rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

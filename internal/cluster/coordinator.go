@@ -13,16 +13,20 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster/journal"
 	"repro/internal/cluster/maglev"
 	"repro/internal/metrics"
 )
@@ -54,6 +58,29 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Logger receives structured logs; nil discards.
 	Logger *slog.Logger
+
+	// Journal, when non-nil, is the coordinator's write-ahead log: accepted
+	// job bodies, terminal states, and worker membership are appended to it,
+	// and a coordinator built over an existing journal recovers that state —
+	// unfinished jobs are replayed onto the worker set, so a SIGKILL
+	// mid-campaign loses nothing. The coordinator owns the journal and
+	// closes it in Close.
+	Journal *journal.Journal
+	// Transport overrides the HTTP transport used to reach workers; nil
+	// uses http.DefaultTransport. The chaos harness injects faults here.
+	Transport http.RoundTripper
+	// HedgeAfter, when > 0, enables hedged submits: if a routed job's
+	// owner has not answered within this delay (or the observed
+	// HedgePercentile submit latency, whichever is larger), the job is
+	// re-issued to the next healthy Maglev backend and the first
+	// conclusive answer wins. Safe because jobs are content-addressed:
+	// duplicate execution returns byte-identical results.
+	HedgeAfter time.Duration
+	// HedgePercentile in (0,1) raises the hedge delay to that quantile of
+	// observed submit latencies once enough samples exist, so hedges fire
+	// on genuine stragglers rather than the median. Only consulted when
+	// HedgeAfter > 0.
+	HedgePercentile float64
 }
 
 // workerState is one registered worker plus its health bookkeeping.
@@ -79,6 +106,7 @@ type Coordinator struct {
 	hc   *http.Client
 	log  *slog.Logger
 	reg  *metrics.Registry
+	jnl  *journal.Journal
 
 	mu      sync.Mutex
 	table   *maglev.Table
@@ -90,7 +118,13 @@ type Coordinator struct {
 	proxyErrors *metrics.Counter
 	remapped    *metrics.Counter
 	rebuilds    *metrics.Counter
+	journalErrs *metrics.Counter
+	replayed    *metrics.Counter
+	hedges      *metrics.Counter
+	hedgeWins   *metrics.Counter
+	submitLat   *metrics.Histogram
 
+	replaying  atomic.Bool // one replayUnplaced goroutine at a time
 	healthWG   sync.WaitGroup
 	healthStop chan struct{}
 }
@@ -120,9 +154,10 @@ func NewCoordinator(o Options) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		opts:       o,
-		hc:         &http.Client{Timeout: o.ProxyTimeout},
+		hc:         &http.Client{Timeout: o.ProxyTimeout, Transport: o.Transport},
 		log:        log,
 		reg:        o.Metrics,
+		jnl:        o.Journal,
 		table:      t,
 		workers:    make(map[string]*workerState),
 		jobs:       make(map[string]*trackedJob),
@@ -137,6 +172,16 @@ func NewCoordinator(o Options) (*Coordinator, error) {
 		"Lookup-table slots that changed owner across all rebuilds.")
 	c.rebuilds = c.reg.Counter("cluster_maglev_rebuilds_total",
 		"Maglev table rebuilds from membership or health changes.")
+	c.journalErrs = c.reg.Counter("cluster_journal_errors_total",
+		"Journal appends that failed (recovery coverage degraded, requests unaffected).")
+	c.replayed = c.reg.Counter("cluster_journal_replayed_total",
+		"Journal-recovered jobs re-placed onto workers after a restart.")
+	c.hedges = c.reg.Counter("cluster_hedges_total",
+		"Submits re-issued to a second worker after the hedge delay.")
+	c.hedgeWins = c.reg.Counter("cluster_hedge_wins_total",
+		"Hedged submits where the second worker answered first.")
+	c.submitLat = c.reg.Histogram("cluster_submit_latency_us",
+		"Round-trip latency of job submits to workers, microseconds.")
 	c.reg.GaugeFunc("cluster_workers_healthy", "Registered workers currently passing health checks.", func() int64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -169,16 +214,139 @@ func NewCoordinator(o Options) (*Coordinator, error) {
 		}
 		return n
 	})
+	if c.jnl != nil {
+		c.reg.GaugeFunc("cluster_journal_size_bytes", "Current size of the write-ahead journal.", func() int64 {
+			return c.jnl.Size()
+		})
+		c.reg.GaugeFunc("cluster_journal_appends_total", "Records appended to the journal since open.", func() int64 {
+			return int64(c.jnl.Stats().Appends)
+		})
+		c.reg.GaugeFunc("cluster_journal_compactions_total", "Journal compactions since open.", func() int64 {
+			return int64(c.jnl.Stats().Compactions)
+		})
+		c.reg.GaugeFunc("cluster_journal_recovered_jobs", "Unfinished jobs recovered from the journal at open.", func() int64 {
+			return int64(c.jnl.Stats().RecoveredJobs)
+		})
+		c.recoverFromJournal()
+	}
 	c.healthWG.Add(1)
 	go c.healthLoop()
 	return c, nil
 }
 
-// Close stops the health loop. In-flight proxied requests finish on their
-// own timeouts.
+// recoverFromJournal loads the journal's replayed state — worker membership
+// and unfinished jobs — into the coordinator before it starts serving. The
+// health loop immediately validates the recovered workers (dead ones fail
+// their probes and drop out), and recovered jobs are re-placed by
+// replayUnplaced or by the first client poll, whichever comes first.
+func (c *Coordinator) recoverFromJournal() {
+	c.mu.Lock()
+	for name, body := range c.jnl.Workers() {
+		var w Worker
+		if err := json.Unmarshal(body, &w); err != nil || w.Name == "" || w.URL == "" {
+			c.log.Error("journal: bad worker record", "name", name, "err", err)
+			continue
+		}
+		if w.Weight <= 0 {
+			w.Weight = 1
+		}
+		c.workers[w.Name] = &workerState{Worker: w, healthy: true}
+	}
+	pending := c.jnl.PendingJobs()
+	for id, body := range pending {
+		c.jobs[id] = &trackedJob{id: id, body: body}
+	}
+	if len(c.workers) > 0 {
+		c.rebuildLocked()
+	}
+	workers, jobs := len(c.workers), len(c.jobs)
+	c.mu.Unlock()
+	if workers+jobs > 0 {
+		c.log.Info("journal recovery", "workers", workers, "unfinished_jobs", jobs,
+			"truncated_bytes", c.jnl.Stats().TruncatedBytes)
+	}
+	if jobs > 0 {
+		c.replayUnplaced()
+	}
+}
+
+// replayUnplaced places every tracked job that has no owner (recovered from
+// the journal, or whose placement failed outright) onto the current worker
+// set. At most one replay pass runs at a time; it is kicked at recovery and
+// whenever a worker (re)registers.
+func (c *Coordinator) replayUnplaced() {
+	if !c.replaying.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer c.replaying.Store(false)
+		c.mu.Lock()
+		var moving []*trackedJob
+		for _, tj := range c.jobs {
+			if tj.node == "" && !tj.done {
+				moving = append(moving, tj)
+			}
+		}
+		c.mu.Unlock()
+		if len(moving) == 0 {
+			return
+		}
+		// Deterministic order so recovery runs are comparable.
+		sort.Slice(moving, func(i, j int) bool { return moving[i].id < moving[j].id })
+		placed := 0
+		for _, tj := range moving {
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProxyTimeout)
+			resp, err := c.place(ctx, tj)
+			cancel()
+			if err != nil {
+				// Stays unplaced; the next registration or client poll
+				// retries it.
+				c.log.Error("replay failed", "job_id", tj.id, "err", err)
+				continue
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+			resp.Body.Close()
+			c.replayed.Inc()
+			placed++
+		}
+		c.log.Info("replayed recovered jobs", "placed", placed, "of", len(moving))
+	}()
+}
+
+// journalAccept records an accepted job. Journal failures are counted and
+// logged but never fail the request: the journal is a recovery accelerator,
+// not an admission gate.
+func (c *Coordinator) journalAccept(id string, body []byte) {
+	if c.jnl == nil {
+		return
+	}
+	if err := c.jnl.Accept(id, body); err != nil {
+		c.journalErrs.Inc()
+		c.log.Error("journal accept", "job_id", id, "err", err)
+	}
+}
+
+// journalDone records a job reaching a terminal state.
+func (c *Coordinator) journalDone(id string) {
+	if c.jnl == nil {
+		return
+	}
+	if err := c.jnl.Done(id); err != nil {
+		c.journalErrs.Inc()
+		c.log.Error("journal done", "job_id", id, "err", err)
+	}
+}
+
+// Close stops the health loop and closes the journal. In-flight proxied
+// requests finish on their own timeouts.
 func (c *Coordinator) Close() {
 	close(c.healthStop)
 	c.healthWG.Wait()
+	if c.jnl != nil {
+		if err := c.jnl.Close(); err != nil {
+			c.log.Error("journal close", "err", err)
+		}
+	}
 }
 
 // routedCounter returns the per-node routing counter, creating the labeled
@@ -214,6 +382,9 @@ func (c *Coordinator) rebuildLocked() {
 }
 
 // Register adds or updates a worker and reprograms the routing table.
+// Re-registering an identical healthy worker is a no-op (workers retry
+// registration across coordinator restarts), so it neither churns the table
+// nor grows the journal.
 func (c *Coordinator) Register(w Worker) error {
 	if w.Name == "" || w.URL == "" {
 		return fmt.Errorf("cluster: registration needs name and url, got %+v", w)
@@ -222,10 +393,25 @@ func (c *Coordinator) Register(w Worker) error {
 		w.Weight = 1
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if prev, ok := c.workers[w.Name]; ok && prev.Worker == w && prev.healthy {
+		c.mu.Unlock()
+		return nil
+	}
 	c.workers[w.Name] = &workerState{Worker: w, healthy: true}
 	c.rebuildLocked()
+	c.mu.Unlock()
+	if c.jnl != nil {
+		body, err := json.Marshal(w)
+		if err == nil {
+			err = c.jnl.Worker(w.Name, body)
+		}
+		if err != nil {
+			c.journalErrs.Inc()
+			c.log.Error("journal worker", "node", w.Name, "err", err)
+		}
+	}
 	c.log.Info("worker registered", "node", w.Name, "url", w.URL, "weight", w.Weight)
+	c.replayUnplaced()
 	return nil
 }
 
@@ -239,6 +425,12 @@ func (c *Coordinator) Deregister(name string) bool {
 	}
 	c.mu.Unlock()
 	if ok {
+		if c.jnl != nil {
+			if err := c.jnl.WorkerGone(name); err != nil {
+				c.journalErrs.Inc()
+				c.log.Error("journal worker-gone", "node", name, "err", err)
+			}
+		}
 		c.log.Info("worker deregistered", "node", name)
 		c.rerouteFrom(name)
 	}
@@ -405,13 +597,7 @@ func (c *Coordinator) place(ctx context.Context, tj *trackedJob) (*http.Response
 			last = err
 			continue
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			url+"/v1/jobs", bytes.NewReader(tj.body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := c.hc.Do(req)
+		resp, node, err := c.submitHedged(ctx, tj, node, url)
 		if err != nil {
 			last = err
 			c.noteFailure(node)
@@ -445,6 +631,176 @@ func (c *Coordinator) place(ctx context.Context, tj *trackedJob) (*http.Response
 		}
 	}
 	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrJobLost, tj.id, placeAttempts, last)
+}
+
+// submitTo posts one job body to a worker and records the round-trip
+// latency for the hedge-delay percentile.
+func (c *Coordinator) submitTo(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err == nil {
+		c.submitLat.Observe(uint64(time.Since(start).Microseconds()))
+	}
+	return resp, err
+}
+
+// hedgeDelay returns how long to wait before re-issuing a submit: the
+// HedgeAfter floor, raised to the observed HedgePercentile submit latency
+// once enough samples exist. 0 disables hedging.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	d := c.opts.HedgeAfter
+	if d <= 0 {
+		return 0
+	}
+	const minSamples = 20
+	if p := c.opts.HedgePercentile; p > 0 && p < 1 && c.submitLat.Count() >= minSamples {
+		if q := time.Duration(c.submitLat.Quantile(p)) * time.Microsecond; q > d {
+			d = q
+		}
+	}
+	return d
+}
+
+// nextBackend returns the healthy worker after node in sorted-name order —
+// the deterministic hedge target.
+func (c *Coordinator) nextBackend(node string) (string, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for name, ws := range c.workers {
+		if ws.healthy && name != node {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", "", false
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n > node {
+			return n, c.workers[n].URL, true
+		}
+	}
+	return names[0], c.workers[names[0]].URL, true
+}
+
+// submitResult is one hedged attempt's outcome.
+type submitResult struct {
+	resp *http.Response
+	node string
+	err  error
+}
+
+// cancelOnClose ties an attempt's context to its response body, so the
+// winner's context lives until the caller finishes reading and the losers'
+// are torn down as they are reaped.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// launchSubmit runs one submit attempt in its own cancellable context and
+// delivers the outcome on results.
+func (c *Coordinator) launchSubmit(ctx context.Context, node, url string, body []byte, results chan<- submitResult) {
+	actx, cancel := context.WithCancel(ctx)
+	go func() {
+		resp, err := c.submitTo(actx, url, body)
+		if err != nil {
+			cancel()
+			results <- submitResult{node: node, err: err}
+			return
+		}
+		resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+		results <- submitResult{resp: resp, node: node}
+	}()
+}
+
+// submitHedged posts a job to its owner and, when hedging is enabled and
+// the owner is slow, races a second attempt against the next healthy
+// backend. The first conclusive answer (anything but a transport error,
+// backpressure, or a 5xx) wins; the straggler is reaped in the background.
+// Returns the winning response and the node that produced it.
+func (c *Coordinator) submitHedged(ctx context.Context, tj *trackedJob, node, url string) (*http.Response, string, error) {
+	delay := c.hedgeDelay()
+	if delay <= 0 {
+		resp, err := c.submitTo(ctx, url, tj.body)
+		return resp, node, err
+	}
+	results := make(chan submitResult, 2)
+	c.launchSubmit(ctx, node, url, tj.body, results)
+	outstanding := 1
+	hedgeNode := ""
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var last submitResult
+	for {
+		select {
+		case <-timer.C:
+			hNode, hURL, ok := c.nextBackend(node)
+			if !ok || outstanding != 1 {
+				continue
+			}
+			hedgeNode = hNode
+			c.hedges.Inc()
+			c.launchSubmit(ctx, hNode, hURL, tj.body, results)
+			outstanding++
+			c.log.Info("hedged submit", "job_id", tj.id, "owner", node,
+				"hedge", hNode, "after", delay)
+		case r := <-results:
+			outstanding--
+			conclusive := r.err == nil &&
+				r.resp.StatusCode != http.StatusTooManyRequests &&
+				r.resp.StatusCode < 500
+			if conclusive {
+				if outstanding > 0 {
+					go func() { // reap the straggler when it lands
+						if s := <-results; s.resp != nil {
+							io.Copy(io.Discard, io.LimitReader(s.resp.Body, maxBody))
+							s.resp.Body.Close()
+						}
+					}()
+				}
+				if hedgeNode != "" && r.node == hedgeNode {
+					c.hedgeWins.Inc()
+				}
+				return r.resp, r.node, nil
+			}
+			if r.resp != nil {
+				io.Copy(io.Discard, io.LimitReader(r.resp.Body, 4096))
+				r.resp.Body.Close()
+			}
+			last = r
+			if outstanding == 0 {
+				if last.err != nil {
+					return nil, last.node, last.err
+				}
+				// Both attempts got pushback; surface it as a transport-level
+				// failure and let place's backoff retry.
+				return nil, last.node, fmt.Errorf("%s answered %d (hedged)", last.node, lastStatus(last))
+			}
+		}
+	}
+}
+
+// lastStatus extracts a status code from a failed attempt for the error
+// message (0 when the attempt never produced a response).
+func lastStatus(r submitResult) int {
+	if r.resp != nil {
+		return r.resp.StatusCode
+	}
+	return 0
 }
 
 // rerouteFrom replays every unfinished job owned by a dead worker onto the

@@ -123,6 +123,121 @@ func TestCorruptEntryIsErrorNotMiss(t *testing.T) {
 	if ok || err == nil {
 		t.Fatalf("corrupt entry: ok=%v err=%v, want miss with error", ok, err)
 	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// The corrupt file was moved aside, so the next Get is a clean miss and
+	// a fresh Put repairs the entry.
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("get after quarantine: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if n, err := s.QuarantineCount(); err != nil || n != 1 {
+		t.Fatalf("quarantine count = %d err=%v, want 1", n, err)
+	}
+	if s.CorruptCount() != 1 {
+		t.Fatalf("corrupt count = %d, want 1", s.CorruptCount())
+	}
+	if err := s.Put(key, testReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); !ok || err != nil {
+		t.Fatalf("get after repair: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestChecksumMismatchQuarantines flips one byte inside the report payload
+// of a valid envelope: the CRC must catch it, the file must be quarantined,
+// and the OnCorrupt hook must fire — never a wrong answer served.
+func TestChecksumMismatchQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked []string
+	s.OnCorrupt = func(key string) { hooked = append(hooked, key) }
+	key := testKey(3)
+	if err := s.Put(key, testReport(3)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the report payload without breaking JSON syntax.
+	i := bytes.Index(b, []byte(`"Cycles":`))
+	if i < 0 {
+		t.Fatalf("no Cycles field in %s", b)
+	}
+	b[i+len(`"Cycles":`)] ^= 0x01 // '1' <-> '0'
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := s.Get(key)
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped entry: ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
+	if len(hooked) != 1 || hooked[0] != key {
+		t.Fatalf("OnCorrupt calls = %v, want [%s]", hooked, key)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key+".json")); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	// The quarantine directory must not pollute the key scan.
+	if n, err := s.Len(); err != nil || n != 0 {
+		t.Fatalf("len=%d err=%v after quarantine, want 0", n, err)
+	}
+}
+
+// TestLegacyBareReport reads a pre-envelope file (bare report JSON) written
+// by an older worker: the migration path must serve it unchanged.
+func TestLegacyBareReport(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, rep := testKey(4), testReport(4)
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, key[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key[:2], key+".json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if !ok || err != nil {
+		t.Fatalf("legacy get: ok=%v err=%v", ok, err)
+	}
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(raw, b) {
+		t.Fatalf("legacy round trip not byte-identical:\n%s\n%s", raw, b)
+	}
+}
+
+// TestUnknownSchemaQuarantines: a future envelope version this binary does
+// not understand must fail closed, not be misread as a legacy report.
+func TestUnknownSchemaQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(5)
+	if err := os.MkdirAll(filepath.Join(dir, key[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"schema":"diskstore/v9","crc32c":"00000000","report":{}}`)
+	if err := os.WriteFile(filepath.Join(dir, key[:2], key+".json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future schema: ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
 }
 
 func TestRecentKeysOrderAndLimit(t *testing.T) {

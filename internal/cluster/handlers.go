@@ -92,6 +92,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	if !known {
 		tj = &trackedJob{id: id, body: body}
+		// Journal before placing: if the process dies between here and the
+		// worker's ack, restart recovery replays the job — a duplicate
+		// execution is harmless because results are content-addressed.
+		c.journalAccept(id, body)
 	}
 	resp, err := c.place(r.Context(), tj)
 	if err != nil {
@@ -142,7 +146,15 @@ func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		c.replayTracked(w, r, tj)
 		return
 	}
-	c.observeJobResponse(tj, r.URL.Path, resp)
+	if !c.observeJobResponse(tj, r.URL.Path, resp) {
+		// The worker's body could not be read in full (connection died
+		// mid-response): answering 200 with partial bytes would hand the
+		// client a wrong answer, so fail the poll and let it retry.
+		c.proxyErrors.Inc()
+		server.WriteError(w, http.StatusBadGateway, server.ErrCodeInternal,
+			"worker response truncated; retry")
+		return
+	}
 	copyResponse(w, resp)
 }
 
@@ -163,16 +175,17 @@ func (c *Coordinator) replayTracked(w http.ResponseWriter, r *http.Request, tj *
 
 // observeJobResponse peeks at a successful poll to learn a job finished, so
 // worker deaths stop triggering replays of already-delivered results. The
-// body is re-buffered because peeking consumes it.
-func (c *Coordinator) observeJobResponse(tj *trackedJob, path string, resp *http.Response) {
+// body is re-buffered because peeking consumes it. Returns false when the
+// body could not be read in full — the response must not be relayed.
+func (c *Coordinator) observeJobResponse(tj *trackedJob, path string, resp *http.Response) bool {
 	if resp.StatusCode != http.StatusOK {
-		return
+		return true
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	resp.Body.Close()
 	if err != nil {
 		resp.Body = io.NopCloser(bytes.NewReader(nil))
-		return
+		return false
 	}
 	resp.Body = io.NopCloser(bytes.NewReader(body))
 	done := false
@@ -186,9 +199,14 @@ func (c *Coordinator) observeJobResponse(tj *trackedJob, path string, resp *http
 	}
 	if done {
 		c.mu.Lock()
+		already := tj.done
 		tj.done = true
 		c.mu.Unlock()
+		if !already {
+			c.journalDone(tj.id)
+		}
 	}
+	return true
 }
 
 // copyResponse relays a worker response to the client: status, body, and the

@@ -1,0 +1,466 @@
+// Package journal is the coordinator's write-ahead log: every accepted job
+// body, every observed terminal state, and every worker-membership change is
+// appended to one file before it is acted on, so a coordinator that is
+// SIGKILLed mid-campaign restarts with its tracked-job table and worker set
+// intact and replays the unfinished jobs verbatim. Because job IDs are
+// content hashes of deterministic simulations, replay after a crash binds
+// the same key to the same bytes — recovery costs at most a recomputation,
+// never a wrong answer.
+//
+// Record framing is length-prefixed and checksummed:
+//
+//	[4 bytes: payload length, little-endian]
+//	[4 bytes: CRC-32C (Castagnoli) of the payload, little-endian]
+//	[payload: one JSON Record]
+//
+// Replay walks frames from the start and stops at the first frame that is
+// short, oversized, or fails its checksum — the torn tail of a crashed
+// write — truncating the file there so the journal is clean for appends.
+// Everything before the tear is recovered. Records are idempotent: a
+// duplicate accept, a duplicate terminal record, or a terminal record for an
+// unknown job all replay cleanly (results are content-addressed, so doing a
+// job twice is safe and doing it zero times after it finished is correct).
+//
+// Appends are fsynced by default; Compact rewrites the live state (current
+// worker set plus still-pending jobs) through a temp file and atomic rename
+// when the log outgrows Options.CompactAt.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Record types. Accept carries the job body; Done only the ID. Worker and
+// WorkerGone track cluster membership so a restarted coordinator knows whom
+// to replay onto before anyone re-registers.
+const (
+	TypeAccept     = "accept"
+	TypeDone       = "done"
+	TypeWorker     = "worker"
+	TypeWorkerGone = "worker-gone"
+)
+
+// Record is one journal entry's payload.
+type Record struct {
+	Type string          `json:"t"`
+	ID   string          `json:"id,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// maxRecord bounds one record's payload; anything larger is treated as a
+// torn frame (job bodies are capped well below this by the coordinator).
+const maxRecord = 4 << 20
+
+// DefaultCompactAt is the log-size threshold that triggers automatic
+// compaction when Options.CompactAt is zero.
+const DefaultCompactAt = 4 << 20
+
+// ErrTorn marks a frame that failed its length or checksum validation during
+// replay; the journal truncates there and keeps going. Exposed for tests.
+var ErrTorn = errors.New("journal: torn record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Journal. The zero value is production-usable.
+type Options struct {
+	// CompactAt is the file size (bytes) beyond which an append triggers
+	// compaction. 0 uses DefaultCompactAt; negative disables automatic
+	// compaction (Compact can still be called explicitly).
+	CompactAt int64
+	// NoSync skips the fsync after each append (tests only; a production
+	// journal that loses its tail loses the jobs accepted in that tail).
+	NoSync bool
+}
+
+// Stats counts what the journal has done since Open.
+type Stats struct {
+	// Appends counts records written (not bytes).
+	Appends uint64 `json:"appends"`
+	// Compactions counts log rewrites, automatic and explicit.
+	Compactions uint64 `json:"compactions"`
+	// RecoveredJobs is how many pending (accepted, not terminal) jobs the
+	// opening replay produced.
+	RecoveredJobs int `json:"recovered_jobs"`
+	// RecoveredWorkers is how many workers the opening replay produced.
+	RecoveredWorkers int `json:"recovered_workers"`
+	// TruncatedBytes is how many torn-tail bytes replay cut off.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}
+
+// Journal is an append-only, checksummed record of coordinator state.
+// Methods are safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	opts   Options
+	closed bool
+
+	// Live state, mirrored from the record stream so Compact can rewrite
+	// the log from scratch and PendingJobs can answer without a re-scan.
+	pending map[string]json.RawMessage // job id -> original body
+	done    map[string]bool            // terminal ids (cleared by Compact)
+	workers map[string]json.RawMessage // worker name -> registration body
+
+	s Stats
+}
+
+// Open replays the journal at path (creating it if absent) and returns it
+// ready for appends. A torn tail — a crash mid-write — is truncated away;
+// everything before it is recovered.
+func Open(path string, opts Options) (*Journal, error) {
+	if path == "" {
+		return nil, errors.New("journal: empty path")
+	}
+	if opts.CompactAt == 0 {
+		opts.CompactAt = DefaultCompactAt
+	}
+	j := &Journal{
+		path:    path,
+		opts:    opts,
+		pending: make(map[string]json.RawMessage),
+		done:    make(map[string]bool),
+		workers: make(map[string]json.RawMessage),
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	j.s.RecoveredJobs = len(j.pending)
+	j.s.RecoveredWorkers = len(j.workers)
+	return j, nil
+}
+
+// replay scans the existing file, applies every valid record, and truncates
+// at the first torn frame.
+func (j *Journal) replay() error {
+	b, err := os.ReadFile(j.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: replay %s: %w", j.path, err)
+	}
+	off := 0
+	for {
+		rec, n, err := decodeFrame(b[off:])
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			// Torn tail: keep the prefix, cut the rest.
+			torn := int64(len(b) - off)
+			if terr := os.Truncate(j.path, int64(off)); terr != nil {
+				return fmt.Errorf("journal: truncate torn tail of %s: %w", j.path, terr)
+			}
+			j.s.TruncatedBytes += torn
+			break
+		}
+		j.apply(rec)
+		off += n
+	}
+	j.size = int64(off)
+	return nil
+}
+
+// decodeFrame parses one frame from b. Returns io.EOF when b is empty and
+// ErrTorn (wrapped) for any malformed frame.
+func decodeFrame(b []byte) (Record, int, error) {
+	var rec Record
+	if len(b) == 0 {
+		return rec, 0, io.EOF
+	}
+	if len(b) < 8 {
+		return rec, 0, fmt.Errorf("%w: %d-byte header", ErrTorn, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if n == 0 || n > maxRecord || len(b) < 8+int(n) {
+		return rec, 0, fmt.Errorf("%w: length %d with %d bytes left", ErrTorn, n, len(b)-8)
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return rec, 0, fmt.Errorf("%w: checksum mismatch", ErrTorn)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	return rec, 8 + int(n), nil
+}
+
+// apply folds one record into the live state. Idempotent by construction.
+func (j *Journal) apply(rec Record) {
+	switch rec.Type {
+	case TypeAccept:
+		if rec.ID != "" && !j.done[rec.ID] {
+			j.pending[rec.ID] = rec.Body
+		}
+	case TypeDone:
+		if rec.ID != "" {
+			j.done[rec.ID] = true
+			delete(j.pending, rec.ID)
+		}
+	case TypeWorker:
+		if rec.ID != "" {
+			j.workers[rec.ID] = rec.Body
+		}
+	case TypeWorkerGone:
+		if rec.ID != "" {
+			delete(j.workers, rec.ID)
+		}
+	}
+	// Unknown types are skipped: an older binary replaying a newer journal
+	// recovers everything it understands.
+}
+
+// append frames, writes, and optionally fsyncs one record, then compacts if
+// the log has outgrown its threshold. Caller holds j.mu.
+func (j *Journal) append(rec Record) error {
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("journal: record %d bytes exceeds %d", len(payload), maxRecord)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	j.size += int64(len(frame))
+	j.s.Appends++
+	j.apply(rec)
+	if j.opts.CompactAt > 0 && j.size > j.opts.CompactAt {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// Accept journals one accepted job: its content-hash ID and the verbatim
+// request body, so the job can be replayed bit-for-bit after a crash.
+func (j *Journal) Accept(id string, body []byte) error {
+	if id == "" {
+		return errors.New("journal: accept with empty id")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done[id] || j.pending[id] != nil {
+		return nil // already journaled; resubmits are free
+	}
+	return j.append(Record{Type: TypeAccept, ID: id, Body: body})
+}
+
+// Done journals a job's terminal state. Duplicate and unknown IDs are
+// accepted silently — terminal records are idempotent.
+func (j *Journal) Done(id string) error {
+	if id == "" {
+		return errors.New("journal: done with empty id")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done[id] {
+		return nil
+	}
+	return j.append(Record{Type: TypeDone, ID: id})
+}
+
+// Worker journals a worker registration (or update) under name.
+func (j *Journal) Worker(name string, body []byte) error {
+	if name == "" {
+		return errors.New("journal: worker with empty name")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(Record{Type: TypeWorker, ID: name, Body: body})
+}
+
+// WorkerGone journals a worker's clean departure.
+func (j *Journal) WorkerGone(name string) error {
+	if name == "" {
+		return errors.New("journal: worker-gone with empty name")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(Record{Type: TypeWorkerGone, ID: name})
+}
+
+// PendingJobs returns the accepted-but-not-terminal jobs as id -> body, a
+// copy safe to mutate. After Open this is the crash-recovery work list.
+func (j *Journal) PendingJobs() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.pending))
+	for id, body := range j.pending {
+		out[id] = append([]byte(nil), body...)
+	}
+	return out
+}
+
+// Workers returns the journaled worker set as name -> registration body.
+func (j *Journal) Workers() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.workers))
+	for name, body := range j.workers {
+		out[name] = append([]byte(nil), body...)
+	}
+	return out
+}
+
+// Size returns the journal file's current length in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Stats returns a snapshot of the journal's tallies.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.s
+}
+
+// Compact rewrites the journal to just its live state: the current worker
+// set and the still-pending jobs, in sorted order for deterministic bytes.
+// Terminal-record history is dropped (it only existed to cancel accepts).
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+// compactLocked writes live state to a temp file, fsyncs it, atomically
+// renames it over the log, and reopens the append handle. Caller holds j.mu.
+func (j *Journal) compactLocked() error {
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var size int64
+	writeRec := func(rec Record) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		frame := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+		copy(frame[8:], payload)
+		n, err := tmp.Write(frame)
+		size += int64(n)
+		return err
+	}
+	for _, name := range sortedKeys(j.workers) {
+		if err := writeRec(Record{Type: TypeWorker, ID: name, Body: j.workers[name]}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	for _, id := range sortedKeys(j.pending) {
+		if err := writeRec(Record{Type: TypeAccept, ID: id, Body: j.pending[id]}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// Swap the append handle to the new file.
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: compact: close old handle: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	j.f = f
+	j.size = size
+	j.done = make(map[string]bool)
+	j.s.Compactions++
+	return nil
+}
+
+// Close syncs and closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			return fmt.Errorf("journal: close sync: %w", err)
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order (deterministic compaction).
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

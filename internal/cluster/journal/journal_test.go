@@ -1,0 +1,301 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func body(i int) []byte {
+	return []byte(fmt.Sprintf(`{"workload":"square","scale":%g}`, 0.05+float64(i)*1e-4))
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	for i := 0; i < 10; i++ {
+		if err := j.Accept(fmt.Sprintf("job%02d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := j.Done(fmt.Sprintf("job%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Worker("w1", []byte(`{"name":"w1","url":"http://a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Worker("w2", []byte(`{"name":"w2","url":"http://b"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WorkerGone("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path)
+	pend := j2.PendingJobs()
+	if len(pend) != 5 {
+		t.Fatalf("recovered %d pending jobs, want 5", len(pend))
+	}
+	for i := 1; i < 10; i += 2 {
+		id := fmt.Sprintf("job%02d", i)
+		if !bytes.Equal(pend[id], body(i)) {
+			t.Errorf("job %s body = %q, want %q", id, pend[id], body(i))
+		}
+	}
+	ws := j2.Workers()
+	if len(ws) != 1 || ws["w1"] == nil {
+		t.Fatalf("recovered workers = %v, want just w1", ws)
+	}
+	st := j2.Stats()
+	if st.RecoveredJobs != 5 || st.RecoveredWorkers != 1 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTruncatedTail cuts the file mid-way through the last record — a crash
+// during a write — and verifies every complete record is recovered, the tail
+// is cleaned away, and appends work afterward.
+func TestTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Accept(fmt.Sprintf("job%02d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeAt4 := j.Size() // size before... we need size after 4 records
+	_ = sizeAt4
+	j.Close()
+
+	// Cut 3 bytes off the end: the last record becomes a torn frame.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path)
+	pend := j2.PendingJobs()
+	if len(pend) != 4 {
+		t.Fatalf("recovered %d jobs after torn tail, want 4", len(pend))
+	}
+	if _, torn := pend["job04"]; torn {
+		t.Fatal("the torn record must not be recovered")
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatalf("stats = %+v, want TruncatedBytes > 0", st)
+	}
+	// The journal is clean for appends: re-accept the torn job and reopen.
+	if err := j2.Accept("job04", body(4)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openT(t, path)
+	if got := len(j3.PendingJobs()); got != 5 {
+		t.Fatalf("after re-accept and reopen: %d jobs, want 5", got)
+	}
+}
+
+// TestTornMidRecord flips bytes inside an interior record's payload (a torn
+// multi-sector write): replay must keep everything before the tear and drop
+// the tear and everything after it — the journal never trusts bytes past a
+// failed checksum.
+func TestTornMidRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	var offsets []int64
+	for i := 0; i < 5; i++ {
+		offsets = append(offsets, j.Size())
+		if err := j.Accept(fmt.Sprintf("job%02d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Corrupt one byte inside record 3's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := offsets[3] + 12 // 8-byte header + 4 bytes into the payload
+	raw[pos] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path)
+	pend := j2.PendingJobs()
+	if len(pend) != 3 {
+		t.Fatalf("recovered %d jobs after mid-record tear, want 3", len(pend))
+	}
+	for i := 0; i < 3; i++ {
+		if pend[fmt.Sprintf("job%02d", i)] == nil {
+			t.Errorf("job%02d lost; records before the tear must survive", i)
+		}
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatalf("stats = %+v, want TruncatedBytes > 0", st)
+	}
+}
+
+// TestGarbageLength writes a frame header claiming an absurd length; replay
+// must treat it as torn rather than allocating or walking past the file.
+func TestGarbageLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	if err := j.Accept("job00", body(0)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openT(t, path)
+	if got := len(j2.PendingJobs()); got != 1 {
+		t.Fatalf("recovered %d jobs, want 1", got)
+	}
+}
+
+// TestDuplicateTerminal: duplicate done records, done-before-accept, and
+// re-accept-after-done must all replay to the same state — replay is
+// idempotent because results are content-addressed.
+func TestDuplicateTerminal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	if err := j.Done("jobX"); err != nil { // terminal for an unknown job
+		t.Fatal(err)
+	}
+	if err := j.Accept("jobX", body(0)); err != nil { // late accept: stays done
+		t.Fatal(err)
+	}
+	if err := j.Accept("jobY", body(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Done("jobY"); err != nil { // duplicates are free
+			t.Fatal(err)
+		}
+	}
+	if err := j.Accept("jobZ", body(2)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := openT(t, path)
+	pend := j2.PendingJobs()
+	if len(pend) != 1 || pend["jobZ"] == nil {
+		t.Fatalf("pending = %v, want just jobZ", pend)
+	}
+}
+
+// TestCompact verifies explicit compaction drops terminal history, keeps
+// live state, shrinks the file, and survives a reopen.
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	if err := j.Worker("w1", []byte(`{"name":"w1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("job%02d", i)
+		if err := j.Accept(id, body(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i < 45 {
+			if err := j.Done(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := j.Size()
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := j.Size()
+	if after >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, after)
+	}
+	if got := len(j.PendingJobs()); got != 5 {
+		t.Fatalf("pending after compact = %d, want 5", got)
+	}
+	// Appends keep working on the swapped handle.
+	if err := j.Accept("jobzz", body(99)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := openT(t, path)
+	if got := len(j2.PendingJobs()); got != 6 {
+		t.Fatalf("pending after reopen = %d, want 6", got)
+	}
+	if ws := j2.Workers(); len(ws) != 1 {
+		t.Fatalf("workers after reopen = %v, want w1", ws)
+	}
+}
+
+// TestAutoCompact: crossing the CompactAt threshold compacts inline.
+func TestAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, err := Open(path, Options{NoSync: true, CompactAt: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("job%03d", i)
+		if err := j.Accept(id, body(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Done(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Compactions == 0 {
+		t.Fatalf("stats = %+v, want automatic compactions", st)
+	}
+	if j.Size() > 4096 {
+		t.Fatalf("log is %d bytes despite auto-compaction at 2048", j.Size())
+	}
+}
+
+// TestEmptyAndMissing: opening a missing path creates it; an empty file is a
+// valid empty journal.
+func TestEmptyAndMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j := openT(t, path)
+	if len(j.PendingJobs()) != 0 || len(j.Workers()) != 0 {
+		t.Fatal("fresh journal is not empty")
+	}
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

@@ -85,6 +85,14 @@ type Campaign struct {
 	// JobTimeout bounds one job's submit-to-result wait (default 120s);
 	// a job that exceeds it counts as lost.
 	JobTimeout time.Duration
+	// RetryBaseDelay is the first backoff after a transient transport error
+	// (connection refused/reset while a coordinator restarts); consecutive
+	// errors back off exponentially with full jitter (default 50ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the transient-error backoff (default 2s), so a
+	// coordinator bounce delays a campaign instead of failing it while the
+	// client never hammers a recovering endpoint.
+	RetryMaxDelay time.Duration
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 }
@@ -97,6 +105,9 @@ type Result struct {
 	Failed    int `json:"failed"` // job executed and reported an error
 	Lost      int `json:"lost"`   // never completed within JobTimeout
 	Resubmits int `json:"resubmits"`
+	// TransientRetries counts transport errors (refused/reset connections)
+	// absorbed by backoff instead of failing a job.
+	TransientRetries int `json:"transient_retries"`
 
 	ElapsedMS     float64 `json:"elapsed_ms"`
 	ThroughputJPS float64 `json:"throughput_jps"`
@@ -182,6 +193,12 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 120 * time.Second
 	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
 	}
@@ -218,9 +235,10 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				lat, resubmits, outcome := c.driveJob(ctx, specs[order[i]].body)
+				lat, resubmits, retries, outcome := c.driveJob(ctx, specs[order[i]].body)
 				mu.Lock()
 				res.Resubmits += resubmits
+				res.TransientRetries += retries
 				switch outcome {
 				case outcomeDone:
 					res.Completed++
@@ -282,13 +300,17 @@ const (
 )
 
 // driveJob pushes one body through submit -> poll -> result, resubmitting
-// on 404 (the cluster lost track, e.g. across a coordinator restart) and
-// honoring Retry-After on backpressure.
-func (c Campaign) driveJob(ctx context.Context, body []byte) (time.Duration, int, jobOutcome) {
+// on 404 (the cluster lost track, e.g. across a coordinator restart),
+// honoring Retry-After on backpressure, and absorbing transient transport
+// errors — a refused or reset connection while the coordinator restarts —
+// with capped full-jitter backoff rather than losing the job.
+func (c Campaign) driveJob(ctx context.Context, body []byte) (time.Duration, int, int, jobOutcome) {
 	ctx, cancel := context.WithTimeout(ctx, c.JobTimeout)
 	defer cancel()
 	start := time.Now()
 	resubmits := -1 // the first submit is not a resubmit
+	retries := 0    // transient transport errors absorbed
+	errStreak := 0  // consecutive transport errors, drives the backoff
 
 	id := ""
 	for {
@@ -298,11 +320,14 @@ func (c Campaign) driveJob(ctx context.Context, body []byte) (time.Duration, int
 			code, sr, retryAfter, err := c.postJob(ctx, body)
 			if err != nil {
 				if ctx.Err() != nil {
-					return 0, max(resubmits, 0), outcomeLost
+					return 0, max(resubmits, 0), retries, outcomeLost
 				}
-				c.sleep(ctx, c.PollInterval)
+				retries++
+				errStreak++
+				c.backoff(ctx, errStreak)
 				continue
 			}
+			errStreak = 0
 			if code == http.StatusAccepted || code == http.StatusOK {
 				id = sr.ID
 				break
@@ -310,7 +335,7 @@ func (c Campaign) driveJob(ctx context.Context, body []byte) (time.Duration, int
 			// 429/503: back off as told and try again.
 			c.sleep(ctx, retryAfter)
 			if ctx.Err() != nil {
-				return 0, max(resubmits, 0), outcomeLost
+				return 0, max(resubmits, 0), retries, outcomeLost
 			}
 		}
 
@@ -319,29 +344,32 @@ func (c Campaign) driveJob(ctx context.Context, body []byte) (time.Duration, int
 			code, rep, retryAfter, err := c.getResult(ctx, id)
 			if err != nil {
 				if ctx.Err() != nil {
-					return 0, max(resubmits, 0), outcomeLost
+					return 0, max(resubmits, 0), retries, outcomeLost
 				}
-				c.sleep(ctx, c.PollInterval)
+				retries++
+				errStreak++
+				c.backoff(ctx, errStreak)
 				continue
 			}
+			errStreak = 0
 			switch code {
 			case http.StatusOK:
 				if len(rep) == 0 {
-					return 0, max(resubmits, 0), outcomeFailed
+					return 0, max(resubmits, 0), retries, outcomeFailed
 				}
-				return time.Since(start), max(resubmits, 0), outcomeDone
+				return time.Since(start), max(resubmits, 0), retries, outcomeDone
 			case http.StatusAccepted:
 				c.sleep(ctx, retryAfter)
 			case http.StatusNotFound:
 				// The job fell out of the cluster's memory; resubmit it.
 				goto resubmit
 			case http.StatusInternalServerError:
-				return 0, max(resubmits, 0), outcomeFailed
+				return 0, max(resubmits, 0), retries, outcomeFailed
 			default:
 				c.sleep(ctx, retryAfter)
 			}
 			if ctx.Err() != nil {
-				return 0, max(resubmits, 0), outcomeLost
+				return 0, max(resubmits, 0), retries, outcomeLost
 			}
 		}
 	resubmit:
@@ -357,6 +385,19 @@ func (c Campaign) sleep(ctx context.Context, d time.Duration) {
 	case <-ctx.Done():
 	case <-time.After(d):
 	}
+}
+
+// backoff sleeps a full-jitter exponential delay for the streak-th
+// consecutive transport error: uniform in (0, min(base<<(streak-1), max)].
+func (c Campaign) backoff(ctx context.Context, streak int) {
+	delay := c.RetryBaseDelay
+	for i := 1; i < streak && delay < c.RetryMaxDelay; i++ {
+		delay <<= 1
+	}
+	if delay > c.RetryMaxDelay {
+		delay = c.RetryMaxDelay
+	}
+	c.sleep(ctx, time.Duration(rand.Int63n(int64(delay))+1))
 }
 
 func (c Campaign) postJob(ctx context.Context, body []byte) (int, server.StatusResponse, time.Duration, error) {

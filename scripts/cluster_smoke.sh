@@ -41,8 +41,11 @@ loadgen_campaign() { # base-url out-file
 }
 
 # --- phase 1: 3 workers, kill one mid-campaign -------------------------------
+# The coordinator runs journaled so the smoke also covers the WAL's normal
+# (non-crash) path; scripts/chaos_smoke.sh covers crash recovery itself.
 COORD=http://127.0.0.1:8370
-"$BIN/cpelide-coordinator" -addr 127.0.0.1:8370 -health-interval 100ms -fail-threshold 2 &
+"$BIN/cpelide-coordinator" -addr 127.0.0.1:8370 -health-interval 100ms \
+  -fail-threshold 2 -journal "$SCRATCH/coordinator.journal" &
 PIDS+=($!)
 wait_up "$COORD"
 
@@ -72,9 +75,12 @@ echo "crashed w2 at $JOBS farm jobs"
 
 wait "$LG" # gate 1: nonzero exit on any lost or failed job
 
-HEALTHY=$(curl -fsS "$COORD/metrics" | awk '$1 == "cluster_workers_healthy" { print $2 }')
+METRICS=$(curl -fsS "$COORD/metrics")
+HEALTHY=$(awk '$1 == "cluster_workers_healthy" { print $2 }' <<<"$METRICS")
 [ "$HEALTHY" = 2 ] || { echo "cluster_workers_healthy = $HEALTHY, want 2" >&2; exit 1; }
-curl -fsS "$COORD/metrics" | grep '^cluster_'
+JERRS=$(awk '$1 == "cluster_journal_errors_total" { print $2 }' <<<"$METRICS")
+[ "${JERRS:-0}" = 0 ] || { echo "cluster_journal_errors_total = $JERRS, want 0" >&2; exit 1; }
+grep '^cluster_' <<<"$METRICS"
 
 cleanup
 PIDS=()
