@@ -1,0 +1,89 @@
+package cpelide
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workloads"
+)
+
+// runReportJSON executes one workload under the given options and returns
+// the marshaled Report.
+func runReportJSON(t *testing.T, name string, scale float64, opt Options) []byte {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	alloc := NewAllocator(cfg.PageSize)
+	w, err := workloads.Build(name, alloc, workloads.Params{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestCalendarEquivalenceWorkloads is the differential lock on the timer
+// wheel: every workload x protocol cell must produce a byte-identical JSON
+// report whether the event engine runs on the wheel or on the reference
+// binary heap. The two calendars are only interchangeable if they deliver
+// events in the exact same (time, schedule-order) sequence, so any wheel
+// bucketing, re-sort, or rebase bug shows up here as a report diff.
+func TestCalendarEquivalenceWorkloads(t *testing.T) {
+	protocols := []Protocol{ProtocolBaseline, ProtocolCPElide, ProtocolHMG}
+	names := []string{"square", "babelstream"}
+	for _, name := range names {
+		for _, p := range protocols {
+			t.Run(fmt.Sprintf("%s/%v", name, p), func(t *testing.T) {
+				opt := Options{Protocol: p, PerKernelStats: true}
+				opt.Calendar = CalendarHeap
+				heap := runReportJSON(t, name, 0.1, opt)
+				opt.Calendar = CalendarWheel
+				wheel := runReportJSON(t, name, 0.1, opt)
+				if !bytes.Equal(heap, wheel) {
+					t.Errorf("heap and wheel calendars produced different reports\nheap:  %.300s\nwheel: %.300s",
+						heap, wheel)
+				}
+			})
+		}
+	}
+}
+
+// TestCalendarEquivalenceGeneratedDAGs extends the differential lock to
+// randomized multi-stream kernel DAGs, which exercise concurrent streams —
+// the case where event ordering (same-cycle FIFO ties across streams)
+// actually decides the simulation outcome.
+func TestCalendarEquivalenceGeneratedDAGs(t *testing.T) {
+	protocols := []Protocol{ProtocolBaseline, ProtocolCPElide, ProtocolHMG}
+	for _, seed := range []uint64{3, 71, 424242} {
+		c := gen.Generate(seed, gen.Config{Chiplets: 4, MaxKernels: 6, MaxStreams: 3})
+		for _, p := range protocols {
+			t.Run(fmt.Sprintf("%s/%v", c.Name, p), func(t *testing.T) {
+				run := func(k CalendarKind) []byte {
+					opt := Options{Protocol: p, Placement: c.Placement, PerKernelStats: true, Calendar: k}
+					rep, err := RunStreams(DefaultConfig(4), c.Specs, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					buf, err := json.Marshal(rep)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return buf
+				}
+				heap, wheel := run(CalendarHeap), run(CalendarWheel)
+				if !bytes.Equal(heap, wheel) {
+					t.Errorf("heap and wheel calendars diverged on generated DAG %s", c.Name)
+				}
+			})
+		}
+	}
+}

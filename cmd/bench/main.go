@@ -88,10 +88,20 @@ func main() {
 		against    = flag.String("against", "", "gate: results file under test (skips measuring; default = measure now)")
 		maxRegress = flag.Float64("max-regress", 0.10, "gate: fail when any gated metric regresses by more than this fraction")
 		metricsCSV = flag.String("metrics", "ns,allocs,cycles,accesses", "gate: comma-separated metrics to gate (ns, bytes, allocs, cycles, accesses)")
-		plant      = flag.Float64("plant", 1.0, "multiply the under-test ns_per_op by this factor (gate self-test: 1.25 must fail)")
+		plant      = flag.Float64("plant", 1.0, "multiply the under-test ns_per_op and allocs_per_op by this factor (gate self-test: 1.25 must fail)")
 		benchtime  = flag.String("benchtime", "", "override testing benchtime (e.g. 200ms) for quicker local runs")
+		calFlag    = flag.String("calendar", "wheel", "event calendar to measure with (wheel or heap); simulation metrics are identical, only host time differs")
 	)
 	flag.Parse()
+
+	switch *calFlag {
+	case "", "wheel":
+		calendar = cpelide.CalendarWheel
+	case "heap":
+		calendar = cpelide.CalendarHeap
+	default:
+		log.Fatalf("bad -calendar %q: want wheel or heap", *calFlag)
+	}
 
 	if *benchtime != "" {
 		if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -113,9 +123,10 @@ func main() {
 		planted.Benchmarks = append([]benchResult(nil), cur.Benchmarks...)
 		for i := range planted.Benchmarks {
 			planted.Benchmarks[i].NsPerOp *= *plant
+			planted.Benchmarks[i].AllocsPerOp = int64(float64(planted.Benchmarks[i].AllocsPerOp) * *plant)
 		}
 		cur = &planted
-		log.Printf("planted a %.0f%% ns_per_op slowdown for the gate self-test", 100*(*plant-1))
+		log.Printf("planted a %.0f%% ns_per_op and allocs_per_op regression for the gate self-test", 100*(*plant-1))
 	}
 
 	if *baseline != "" {
@@ -226,8 +237,12 @@ func runOne(c benchCase, prof *cpelide.PhaseProfiler) (*cpelide.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cpelide.Run(cfg, w, cpelide.Options{Protocol: c.Protocol, Profiler: prof})
+	return cpelide.Run(cfg, w, cpelide.Options{Protocol: c.Protocol, Profiler: prof, Calendar: calendar})
 }
+
+// calendar is the event-calendar implementation the whole matrix runs on,
+// set once from the -calendar flag.
+var calendar cpelide.CalendarKind
 
 // gate compares the under-test results to the baseline and returns one
 // message per violation: a gated metric more than maxRegress worse, or a

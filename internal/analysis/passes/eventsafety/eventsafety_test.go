@@ -18,3 +18,7 @@ func TestLoopCapturePre122(t *testing.T) {
 func TestLoopCaptureSafeAt122(t *testing.T) {
 	analysistest.Run(t, "testdata", "loop122", eventsafety.Analyzer)
 }
+
+func TestEventRetention(t *testing.T) {
+	analysistest.Run(t, "testdata", "retain", eventsafety.Analyzer)
+}

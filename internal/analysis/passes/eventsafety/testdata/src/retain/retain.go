@@ -1,0 +1,46 @@
+// Package retain exercises the eventsafety retention rule: handlers must
+// not take the address of their delivered event, because the engine pools
+// and recycles events the moment Handle returns.
+package retain
+
+import "event"
+
+var stash *event.Event
+
+type sink struct {
+	last *event.Event
+}
+
+// HandleMethod is a Handler-shaped method retaining its event.
+func (s *sink) Handle(e event.Event) {
+	s.last = &e // want `handler takes the address of its event parameter "e"`
+}
+
+func literals(eng *event.Engine) {
+	_ = eng.Schedule(1, event.HandlerFunc(func(ev event.Event) {
+		stash = &ev // want `handler takes the address of its event parameter "ev"`
+	}), nil)
+
+	// Copying fields out is the supported pattern.
+	_ = eng.Schedule(2, event.HandlerFunc(func(ev event.Event) {
+		payload := ev.Payload
+		_ = payload
+	}), nil)
+
+	// Addresses of other values are fine, including locals copied from the
+	// event.
+	_ = eng.Schedule(3, event.HandlerFunc(func(ev event.Event) {
+		copied := ev
+		_ = &copied
+	}), nil)
+}
+
+// nested closures see the enclosing handler's parameter.
+func nested(eng *event.Engine) {
+	_ = eng.Schedule(4, event.HandlerFunc(func(ev event.Event) {
+		fn := func() {
+			stash = &ev // want `handler takes the address of its event parameter "ev"`
+		}
+		fn()
+	}), nil)
+}

@@ -74,6 +74,9 @@ type SyncOp struct {
 // SyncPlan is everything a protocol wants done before a kernel's WGs
 // dispatch.
 type SyncPlan struct {
+	// Ops may alias a protocol-owned scratch buffer (see Baseline.TakeOps):
+	// the slice is valid only until the protocol's next PreLaunch or
+	// Finalize call. Consumers that outlive the boundary must copy the ops.
 	Ops []SyncOp
 	// CPCycles is command-processor processing time (table lookups,
 	// acquire/release generation) in core cycles; it is hidden behind
@@ -154,7 +157,25 @@ type Degradable interface {
 // only the kernel-boundary behavior, not the protocol).
 type Baseline struct {
 	M *machine.Machine
+
+	// opsScratch is the reusable backing array for the SyncPlan.Ops slices
+	// this protocol (and protocols embedding it) builds. A plan is consumed
+	// by the executor before the protocol's next PreLaunch/Finalize call —
+	// kernel dispatch is synchronous and observers copy what they keep — so
+	// every boundary can reuse the previous boundary's allocation.
+	opsScratch []SyncOp
 }
+
+// TakeOps returns the protocol-owned, length-zero buffer for building the
+// next SyncPlan's Ops. The resulting plan is valid only until the next
+// PreLaunch or Finalize call on this protocol; callers that keep ops longer
+// must copy them. Pass the built slice to KeepOps so a grown backing array
+// is reused at the next boundary.
+func (b *Baseline) TakeOps() []SyncOp { return b.opsScratch[:0] }
+
+// KeepOps stores a slice obtained from TakeOps (and possibly grown by
+// appends) back into the protocol for reuse.
+func (b *Baseline) KeepOps(ops []SyncOp) { b.opsScratch = ops }
 
 // NewBaseline returns the baseline protocol over machine m.
 func NewBaseline(m *machine.Machine) *Baseline { return &Baseline{M: m} }
@@ -173,12 +194,15 @@ func (b *Baseline) PreLaunch(l *Launch) SyncPlan {
 		return SyncPlan{CPCycles: b.M.Cfg.CPLatencyCycles()}
 	}
 	plan := SyncPlan{CPCycles: b.M.Cfg.CPLatencyCycles()}
+	ops := b.TakeOps()
 	for c := 0; c < b.M.Cfg.NumChiplets; c++ {
-		plan.Ops = append(plan.Ops,
+		ops = append(ops,
 			SyncOp{Chiplet: c, Kind: Release},
 			SyncOp{Chiplet: c, Kind: Acquire},
 		)
 	}
+	b.KeepOps(ops)
+	plan.Ops = ops
 	plan.Messages = 2 // broadcast + gathered acks modeled as one each way
 	return plan
 }
@@ -297,8 +321,11 @@ func (b *Baseline) fillL2(chiplet int, line mem.Addr, ver uint32, dirty bool) {
 // program end that all configurations pay.
 func (b *Baseline) Finalize() SyncPlan {
 	var plan SyncPlan
+	ops := b.TakeOps()
 	for c := 0; c < b.M.Cfg.NumChiplets; c++ {
-		plan.Ops = append(plan.Ops, SyncOp{Chiplet: c, Kind: Release})
+		ops = append(ops, SyncOp{Chiplet: c, Kind: Release})
 	}
+	b.KeepOps(ops)
+	plan.Ops = ops
 	return plan
 }

@@ -17,6 +17,13 @@ import (
 type Protocol struct {
 	*coherence.Baseline
 	Table *Table
+
+	// viewsBuf and rsArena back the per-launch ArgView slices handed to the
+	// table. They are valid only for the duration of one PreLaunch call: the
+	// table copies (never aliases) everything it keeps, so both are reused
+	// at the next boundary without allocating.
+	viewsBuf []ArgView
+	rsArena  []mem.RangeSet
 }
 
 // Options tunes CPElide variants for the ablation studies.
@@ -82,12 +89,15 @@ func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 	if m.Faults.TableParity() {
 		ops = p.Table.ParityReset()
 		m.Sheet.Inc(stats.TableParityResets)
+		ops = append(ops, p.Table.OnKernelLaunch(views)...)
+	} else {
+		ops = p.Table.OnKernelLaunch(views)
 	}
-	ops = append(ops, p.Table.OnKernelLaunch(views)...)
 
 	plan := coherence.SyncPlan{
 		CPCycles: cfg.CPLatencyCycles() + cfg.CPElideOverheadCycles(),
 	}
+	planOps := p.TakeOps()
 	releases, acquires := 0, 0
 	for _, op := range ops {
 		kind := coherence.Acquire
@@ -97,12 +107,14 @@ func (p *Protocol) PreLaunch(l *coherence.Launch) coherence.SyncPlan {
 		} else {
 			acquires++
 		}
-		plan.Ops = append(plan.Ops, coherence.SyncOp{
+		planOps = append(planOps, coherence.SyncOp{
 			Chiplet: op.Chiplet,
 			Kind:    kind,
 			Ranges:  op.Ranges,
 		})
 	}
+	p.KeepOps(planOps)
+	plan.Ops = planOps
 	// One request + one ack per op, plus a launch-enable per target chiplet.
 	plan.Messages = 2*len(ops) + len(l.Chiplets)
 
@@ -158,14 +170,24 @@ func minu(a, b uint64) uint64 {
 // the global CP makes the placement decisions, so it knows the homes).
 func (p *Protocol) argViews(l *coherence.Launch) []ArgView {
 	n := p.M.Cfg.NumChiplets
-	views := make([]ArgView, 0, len(l.Kernel.Args))
+	views := p.viewsBuf[:0]
+	p.rsArena = p.rsArena[:0]
+	// grab carves n zeroed RangeSets out of the arena. Appending fresh zero
+	// values (rather than reslicing) keeps reused capacity clean.
+	grab := func() []mem.RangeSet {
+		start := len(p.rsArena)
+		for i := 0; i < n; i++ {
+			p.rsArena = append(p.rsArena, mem.RangeSet{})
+		}
+		return p.rsArena[start : start+n : start+n]
+	}
 	for ai, a := range l.Kernel.Args {
 		v := ArgView{
 			Base:      a.DS.Base,
 			Full:      a.DS.Range(),
 			Mode:      a.Mode,
-			Ranges:    make([]mem.RangeSet, n),
-			Cacheable: make([]mem.RangeSet, n),
+			Ranges:    grab(),
+			Cacheable: grab(),
 		}
 		atomicScatter := a.Pattern == kernels.Indirect && a.Mode == kernels.ReadWrite
 		for slot, c := range l.Chiplets {
@@ -182,6 +204,7 @@ func (p *Protocol) argViews(l *coherence.Launch) []ArgView {
 		}
 		views = append(views, v)
 	}
+	p.viewsBuf = views
 	return views
 }
 
@@ -191,7 +214,8 @@ func (p *Protocol) homedSubset(c int, rs mem.RangeSet) mem.RangeSet {
 	pages := p.M.Pages
 	ps := mem.Addr(pages.PageSize())
 	var out mem.RangeSet
-	for _, r := range rs.Ranges() {
+	for ri, rn := 0, rs.Len(); ri < rn; ri++ {
+		r := rs.At(ri)
 		runStart := mem.Addr(0)
 		inRun := false
 		for lo := r.Lo &^ (ps - 1); lo < r.Hi; lo += ps {
@@ -236,12 +260,15 @@ func (p *Protocol) Finalize() coherence.SyncPlan {
 		return p.Baseline.Finalize()
 	}
 	var plan coherence.SyncPlan
+	ops := p.TakeOps()
 	for _, op := range p.Table.FinalizeOps() {
-		plan.Ops = append(plan.Ops, coherence.SyncOp{
+		ops = append(ops, coherence.SyncOp{
 			Chiplet: op.Chiplet,
 			Kind:    coherence.Release,
 			Ranges:  op.Ranges,
 		})
 	}
+	p.KeepOps(ops)
+	plan.Ops = ops
 	return plan
 }

@@ -565,8 +565,13 @@ func (t *Table) dedupe(args []ArgView) []ArgView {
 			}
 			dst.Full = dst.Full.Union(a.Full)
 			for c := range dst.Ranges {
+				// The view's sets are value copies of the launch's long-lived
+				// annotation sets; clone before merging in place so the merge
+				// never writes through a shared spill slice.
+				dst.Ranges[c] = dst.Ranges[c].Clone()
 				dst.Ranges[c].AddSet(a.Ranges[c])
 				if dst.Cacheable != nil && a.Cacheable != nil {
+					dst.Cacheable[c] = dst.Cacheable[c].Clone()
 					dst.Cacheable[c].AddSet(a.Cacheable[c])
 				} else if dst.Cacheable != nil {
 					// Partner assumes everything cacheable; widen.

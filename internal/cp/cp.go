@@ -81,6 +81,10 @@ type RunnerConfig struct {
 	// simulated GPU has no preemption), so cancellation latency is one
 	// kernel span.
 	Ctx context.Context
+	// Calendar selects the event engine's calendar implementation (default
+	// timer wheel; the reference heap is kept for differential testing).
+	// Both deliver events in identical order, so reports are byte-identical.
+	Calendar event.CalendarKind
 }
 
 // Runner owns the global CP's dispatch loop over the event engine.
@@ -114,7 +118,7 @@ type streamState struct {
 func NewRunner(x *gpu.Executor, specs []StreamSpec, rc RunnerConfig) (*Runner, error) {
 	m := x.M
 	r := &Runner{
-		Eng:         event.New(),
+		Eng:         event.NewWithCalendar(rc.Calendar),
 		X:           x,
 		Cfg:         rc,
 		chipletBusy: make([]event.Time, m.Cfg.NumChiplets),
@@ -177,8 +181,9 @@ func BuildLaunch(k *kernels.Kernel, inst, stream int, chiplets []int, lineSize i
 		Chiplets: chiplets,
 	}
 	l.ArgRanges = make([][]mem.RangeSet, len(k.Args))
+	backing := make([]mem.RangeSet, len(k.Args)*len(chiplets))
 	for ai := range k.Args {
-		l.ArgRanges[ai] = make([]mem.RangeSet, len(chiplets))
+		l.ArgRanges[ai] = backing[ai*len(chiplets) : (ai+1)*len(chiplets) : (ai+1)*len(chiplets)]
 		for slot := range chiplets {
 			if rangeInfo {
 				l.ArgRanges[ai][slot] = kernels.ArgRanges(k, ai, slot, len(chiplets), lineSize)

@@ -1,0 +1,85 @@
+package cp_test
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/gpu"
+	"repro/internal/hmg"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// TestEventPoolNoLeaks drives a large sample of generated kernel DAGs
+// through complete runs and asserts the engine's event pool balances: every
+// event the runner scheduled was delivered (or recycled by Reset) and
+// returned to the free list, so PoolOutstanding is zero and the calendar is
+// empty when Run returns. A handler squirreling away a pooled event — or the
+// engine dropping one — shows up here as a nonzero outstanding count. The CI
+// race job runs this file under -race, which additionally catches any
+// use-after-recycle write to a pooled event's fields.
+func TestEventPoolNoLeaks(t *testing.T) {
+	dags := 500
+	if testing.Short() {
+		dags = 50
+	}
+	cfg := config.Default(4)
+	cfg.CUsPerChiplet = 4
+	cfg.L1SizeBytes = 1 << 10
+	cfg.L2SizeBytes = 64 << 10
+	cfg.L3SizeBytes = 128 << 10
+
+	for seed := 0; seed < dags; seed++ {
+		c := gen.Generate(uint64(seed), gen.Config{Chiplets: 4, MaxKernels: 5, MaxStreams: 3})
+		bounds := mem.Range{Lo: gen.HeapBase, Hi: gen.HeapBase}
+		for _, s := range c.Specs {
+			bounds = bounds.Union(s.Workload.Bounds())
+		}
+		m, err := machine.New(cfg, bounds, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p coherence.Protocol
+		switch seed % 3 {
+		case 0:
+			p = coherence.NewBaseline(m)
+		case 1:
+			if p, err = core.New(m); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if p, err = hmg.New(m, hmg.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		x := gpu.New(m, p, uint64(seed))
+		cal := event.CalendarWheel
+		if seed%2 == 1 {
+			cal = event.CalendarHeap
+		}
+		r, err := cp.NewRunner(x, c.Specs, cp.RunnerConfig{
+			RangeInfo: true,
+			Placement: c.Placement,
+			Calendar:  cal,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := r.Eng.PoolOutstanding(); n != 0 {
+			t.Fatalf("seed %d (%s, %v): %d events still outstanding after Run",
+				seed, c.Name, cal, n)
+		}
+		if n := r.Eng.Pending(); n != 0 {
+			t.Fatalf("seed %d: %d events still pending after Run", seed, n)
+		}
+	}
+}

@@ -46,16 +46,24 @@ type Executor struct {
 	Obs Observer
 
 	// latency is per-CU scratch, reused across kernels to avoid
-	// per-launch allocation.
-	latency []uint64
+	// per-launch allocation. opCycles, l2bank0, and l3bank0 are per-chiplet
+	// scratch reused the same way.
+	latency  []uint64
+	opCycles []int
+	l2bank0  []uint64
+	l3bank0  []uint64
 }
 
 // New builds an executor.
 func New(m *machine.Machine, p coherence.Protocol, seed uint64) *Executor {
 	cus := m.Cfg.CUsPerChiplet
+	n := m.Cfg.NumChiplets
 	return &Executor{
 		M: m, P: p, Seed: seed,
-		latency: make([]uint64, cus),
+		latency:  make([]uint64, cus),
+		opCycles: make([]int, n),
+		l2bank0:  make([]uint64, n),
+		l3bank0:  make([]uint64, n),
 	}
 }
 
@@ -89,7 +97,10 @@ func (x *Executor) ExecutePlan(plan coherence.SyncPlan) uint64 {
 		m.Trace.Plan(0, uint64(plan.HostRoundTripCycles))
 		return uint64(plan.HostRoundTripCycles)
 	}
-	perChiplet := make(map[int]int, cfg.NumChiplets)
+	perChiplet := x.opCycles
+	for i := range perChiplet {
+		perChiplet[i] = 0
+	}
 	extraMessages := 0
 	for _, op := range plan.Ops {
 		cy, msgs := x.executeOp(op)
@@ -224,8 +235,7 @@ func (x *Executor) RunKernel(l *coherence.Launch, exposeCP bool) KernelResult {
 	nparts := len(l.Chiplets)
 	cus := cfg.CUsPerChiplet
 	mlp := float64(cfg.BaseMLP) * k.MLP()
-	l2bank0 := make([]uint64, cfg.NumChiplets)
-	l3bank0 := make([]uint64, cfg.NumChiplets)
+	l2bank0, l3bank0 := x.l2bank0, x.l3bank0
 	for b := 0; b < cfg.NumChiplets; b++ {
 		l2bank0[b] = m.L2BankBytes(b)
 		l3bank0[b] = m.L3BankBytes(b)

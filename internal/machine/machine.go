@@ -81,12 +81,16 @@ func New(cfg config.GPU, bounds mem.Range, sheet *stats.Sheet) (*Machine, error)
 	}
 	m.l2BankBytes = make([]uint64, n)
 	m.l3BankBytes = make([]uint64, n)
+	// All per-CU L1s share one backing allocation: building n*CUs caches
+	// individually would dominate machine-construction allocation counts.
+	l1s, err := mem.NewCacheArray("L1", n*cfg.CUsPerChiplet, cfg.L1SizeBytes, cfg.L1Assoc, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
 	for c := 0; c < n; c++ {
 		m.L1[c] = make([]*mem.Cache, cfg.CUsPerChiplet)
 		for cu := 0; cu < cfg.CUsPerChiplet; cu++ {
-			if m.L1[c][cu], err = mem.NewCache("L1", cfg.L1SizeBytes, cfg.L1Assoc, cfg.LineSize); err != nil {
-				return nil, err
-			}
+			m.L1[c][cu] = &l1s[c*cfg.CUsPerChiplet+cu]
 		}
 		if m.L2[c], err = mem.NewCache("L2", cfg.L2SizeBytes, cfg.L2Assoc, cfg.LineSize); err != nil {
 			return nil, err

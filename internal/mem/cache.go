@@ -9,6 +9,18 @@ import "fmt"
 //
 // Within each set, ways are kept in LRU order: index 0 is the most recently
 // used line and the last valid index is the eviction victim.
+//
+// Two representation choices make the whole-cache maintenance operations the
+// protocols issue at every kernel boundary cheap:
+//
+//   - Validity is an epoch: a way is valid iff its epoch equals the cache's.
+//     InvalidateAll is then O(1) — bump the epoch — instead of a memclr of
+//     the whole way array (the epoch is 16 bits; on wrap the array really is
+//     cleared once).
+//   - A per-set dirty bitmap records which sets may hold dirty lines, so
+//     FlushAll and large FlushRanges walk only those sets (in ascending set
+//     order, preserving the exact commit order of the full walk) instead of
+//     every tag in the cache.
 type Cache struct {
 	name      string
 	lineShift uint
@@ -16,15 +28,26 @@ type Cache struct {
 	assoc     int
 	setsPow2  bool
 	sets      []way // numSets * assoc, flattened
+	epoch     uint16
+
+	// dirtySets has one bit per set, set when a way in the set becomes
+	// dirty. Bits are cleared when a flush walk cleans the set; a stale set
+	// bit (all its dirty lines invalidated or cleaned individually) only
+	// costs that walk one wasted scan. For caches of up to
+	// 64*len(dirtyInline) sets (every per-CU L1) it aliases dirtyInline,
+	// avoiding a second allocation per cache; Cache is never copied by
+	// value, so the self-reference is safe.
+	dirtySets   []uint64
+	dirtyInline [4]uint64
 
 	validLines int
 	dirtyLines int
 }
 
 type way struct {
-	tag   Addr // line address (low bits zero); tagValid encodes validity
-	ver   uint32
-	valid bool
+	tag   Addr   // line address (low bits zero)
+	ver   uint32 // data version carried by the line
+	epoch uint16 // valid iff equal to the cache's epoch (0 is never current)
 	dirty bool
 }
 
@@ -54,14 +77,50 @@ func NewCache(name string, size, assoc, lineSize int) (*Cache, error) {
 			ErrGeometry, name, lineSize)
 	}
 	numSets := uint64(size / (assoc * lineSize))
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		lineShift: shift,
 		numSets:   numSets,
 		assoc:     assoc,
 		setsPow2:  numSets&(numSets-1) == 0,
 		sets:      make([]way, numSets*uint64(assoc)),
-	}, nil
+		epoch:     1,
+	}
+	if words := (numSets + 63) / 64; words <= uint64(len(c.dirtyInline)) {
+		c.dirtySets = c.dirtyInline[:words]
+	} else {
+		c.dirtySets = make([]uint64, words)
+	}
+	return c, nil
+}
+
+// NewCacheArray builds count caches of identical geometry sharing a single
+// way-array allocation. Machines build hundreds of per-CU L1s; allocating
+// them individually costs two allocations per cache, which dominates
+// machine-construction allocation counts. The returned slice never moves,
+// so taking the address of an element is safe.
+func NewCacheArray(name string, count, size, assoc, lineSize int) ([]Cache, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: cache %s array count %d must be positive", ErrGeometry, name, count)
+	}
+	proto, err := NewCache(name, size, assoc, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	lines := proto.numSets * uint64(proto.assoc)
+	backing := make([]way, lines*uint64(count))
+	words := (proto.numSets + 63) / 64
+	arr := make([]Cache, count)
+	for i := range arr {
+		arr[i] = *proto
+		arr[i].sets = backing[uint64(i)*lines : uint64(i+1)*lines : uint64(i+1)*lines]
+		if words <= uint64(len(arr[i].dirtyInline)) {
+			arr[i].dirtySets = arr[i].dirtyInline[:words]
+		} else {
+			arr[i].dirtySets = make([]uint64, words)
+		}
+	}
+	return arr, nil
 }
 
 // Name returns the cache's diagnostic name.
@@ -96,6 +155,18 @@ func (c *Cache) set(line Addr) []way {
 	return c.sets[s : s+uint64(c.assoc)]
 }
 
+// setWithIndex returns the ways of the set holding line plus the set index,
+// for callers that also maintain the dirty bitmap.
+func (c *Cache) setWithIndex(line Addr) ([]way, uint64) {
+	si := c.setIndex(line)
+	s := si * uint64(c.assoc)
+	return c.sets[s : s+uint64(c.assoc)], si
+}
+
+func (c *Cache) markDirtySet(si uint64) {
+	c.dirtySets[si>>6] |= 1 << (si & 63)
+}
+
 // moveToFront promotes ways[i] to MRU position.
 func moveToFront(ways []way, i int) {
 	if i == 0 {
@@ -111,7 +182,7 @@ func moveToFront(ways []way, i int) {
 func (c *Cache) Read(line Addr) (ver uint32, hit bool) {
 	ways := c.set(line)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			moveToFront(ways, i)
 			return ways[0].ver, true
 		}
@@ -123,7 +194,7 @@ func (c *Cache) Read(line Addr) (ver uint32, hit bool) {
 func (c *Cache) Peek(line Addr) (ver uint32, dirty, hit bool) {
 	ways := c.set(line)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			return ways[i].ver, ways[i].dirty, true
 		}
 	}
@@ -135,11 +206,12 @@ func (c *Cache) Peek(line Addr) (ver uint32, dirty, hit bool) {
 // miss it does nothing; the caller decides whether to write-allocate via
 // Fill.
 func (c *Cache) Write(line Addr, ver uint32) bool {
-	ways := c.set(line)
+	ways, si := c.setWithIndex(line)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			if !ways[i].dirty {
 				c.dirtyLines++
+				c.markDirtySet(si)
 			}
 			moveToFront(ways, i)
 			ways[0].ver = ver
@@ -156,7 +228,7 @@ func (c *Cache) Write(line Addr, ver uint32) bool {
 func (c *Cache) UpdateClean(line Addr, ver uint32) bool {
 	ways := c.set(line)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			moveToFront(ways, i)
 			if ways[0].dirty {
 				ways[0].dirty = false
@@ -173,13 +245,14 @@ func (c *Cache) UpdateClean(line Addr, ver uint32) bool {
 // LRU way if the set is full. Filling a line already present updates it in
 // place instead.
 func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
-	ways := c.set(line)
+	ways, si := c.setWithIndex(line)
 	// Already present: update in place.
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			moveToFront(ways, i)
 			if dirty && !ways[0].dirty {
 				c.dirtyLines++
+				c.markDirtySet(si)
 			}
 			if !dirty && ways[0].dirty {
 				c.dirtyLines--
@@ -192,7 +265,7 @@ func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
 	// Prefer an invalid way.
 	victim := -1
 	for i := range ways {
-		if !ways[i].valid {
+		if ways[i].epoch != c.epoch {
 			victim = i
 			break
 		}
@@ -207,10 +280,11 @@ func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
 		}
 		c.validLines--
 	}
-	ways[victim] = way{tag: line, ver: ver, valid: true, dirty: dirty}
+	ways[victim] = way{tag: line, ver: ver, epoch: c.epoch, dirty: dirty}
 	c.validLines++
 	if dirty {
 		c.dirtyLines++
+		c.markDirtySet(si)
 	}
 	moveToFront(ways, victim)
 	return ev
@@ -221,7 +295,7 @@ func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
 func (c *Cache) Invalidate(line Addr) (wasDirty, wasPresent bool) {
 	ways := c.set(line)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].epoch == c.epoch && ways[i].tag == line {
 			wasDirty = ways[i].dirty
 			if wasDirty {
 				c.dirtyLines--
@@ -236,10 +310,21 @@ func (c *Cache) Invalidate(line Addr) (wasDirty, wasPresent bool) {
 
 // InvalidateAll drops every line and returns the number invalidated.
 // Dirty data is discarded; callers needing write-back must FlushAll first.
+// The work is O(1): validity is epoch-based, so bumping the epoch stales
+// every way at once (the way array is physically cleared only when the
+// 16-bit epoch wraps).
 func (c *Cache) InvalidateAll() int {
 	n := c.validLines
-	for i := range c.sets {
-		c.sets[i] = way{}
+	if c.epoch == ^uint16(0) {
+		for i := range c.sets {
+			c.sets[i] = way{}
+		}
+		c.epoch = 1
+	} else {
+		c.epoch++
+	}
+	for i := range c.dirtySets {
+		c.dirtySets[i] = 0
 	}
 	c.validLines = 0
 	c.dirtyLines = 0
@@ -262,7 +347,7 @@ func (c *Cache) InvalidateRanges(rs RangeSet) int {
 	n := 0
 	for i := range c.sets {
 		w := &c.sets[i]
-		if w.valid && rs.Contains(w.tag) {
+		if w.epoch == c.epoch && rs.Contains(w.tag) {
 			if w.dirty {
 				c.dirtyLines--
 			}
@@ -284,22 +369,23 @@ func (c *Cache) rangeSmall(rs RangeSet) bool {
 // eachLine invokes f for every line-aligned address in rs.
 func (c *Cache) eachLine(rs RangeSet, f func(Addr)) {
 	step := Addr(1) << c.lineShift
-	for _, r := range rs.Ranges() {
+	for i, n := 0, rs.Len(); i < n; i++ {
+		r := rs.At(i)
 		for line := r.Lo &^ (step - 1); line < r.Hi; line += step {
 			f(line)
 		}
 	}
 }
 
-// FlushAll writes back every dirty line through commit and marks it clean,
-// returning the number of lines written back. Clean and invalid lines are
-// untouched; the cache retains clean copies, matching the baseline protocol
-// in which a flushed line transitions to a shared/valid state.
-func (c *Cache) FlushAll(commit func(line Addr, ver uint32)) int {
+// flushSet writes back the dirty lines of set si through commit, in way
+// order, and returns how many it cleaned.
+func (c *Cache) flushSet(si uint64, commit func(line Addr, ver uint32)) int {
 	n := 0
-	for i := range c.sets {
-		w := &c.sets[i]
-		if w.valid && w.dirty {
+	base := si * uint64(c.assoc)
+	ways := c.sets[base : base+uint64(c.assoc)]
+	for i := range ways {
+		w := &ways[i]
+		if w.epoch == c.epoch && w.dirty {
 			commit(w.tag, w.ver)
 			w.dirty = false
 			c.dirtyLines--
@@ -309,15 +395,44 @@ func (c *Cache) FlushAll(commit func(line Addr, ver uint32)) int {
 	return n
 }
 
+// FlushAll writes back every dirty line through commit and marks it clean,
+// returning the number of lines written back. Clean and invalid lines are
+// untouched; the cache retains clean copies, matching the baseline protocol
+// in which a flushed line transitions to a shared/valid state. Only sets
+// flagged in the dirty bitmap are walked, in ascending set order — the same
+// commit order as a full tag walk.
+func (c *Cache) FlushAll(commit func(line Addr, ver uint32)) int {
+	if c.dirtyLines == 0 {
+		return 0
+	}
+	n := 0
+	for wi, word := range c.dirtySets {
+		if word == 0 {
+			continue
+		}
+		for b := uint64(0); word != 0; word >>= 1 {
+			if word&1 != 0 {
+				n += c.flushSet(uint64(wi)<<6+b, commit)
+			}
+			b++
+		}
+		c.dirtySets[wi] = 0
+	}
+	return n
+}
+
 // FlushRanges writes back dirty lines whose addresses lie in rs, marking
 // them clean, and returns the number written back.
 func (c *Cache) FlushRanges(rs RangeSet, commit func(line Addr, ver uint32)) int {
+	if c.dirtyLines == 0 {
+		return 0
+	}
 	if c.rangeSmall(rs) {
 		n := 0
 		c.eachLine(rs, func(line Addr) {
 			ways := c.set(line)
 			for i := range ways {
-				if ways[i].valid && ways[i].tag == line && ways[i].dirty {
+				if ways[i].epoch == c.epoch && ways[i].tag == line && ways[i].dirty {
 					commit(line, ways[i].ver)
 					ways[i].dirty = false
 					c.dirtyLines--
@@ -328,13 +443,32 @@ func (c *Cache) FlushRanges(rs RangeSet, commit func(line Addr, ver uint32)) int
 		return n
 	}
 	n := 0
-	for i := range c.sets {
-		w := &c.sets[i]
-		if w.valid && w.dirty && rs.Contains(w.tag) {
-			commit(w.tag, w.ver)
-			w.dirty = false
-			c.dirtyLines--
-			n++
+	for wi, word := range c.dirtySets {
+		for b := uint64(0); word != 0; word >>= 1 {
+			if word&1 != 0 {
+				si := uint64(wi)<<6 + b
+				base := si * uint64(c.assoc)
+				ways := c.sets[base : base+uint64(c.assoc)]
+				remaining := false
+				for i := range ways {
+					w := &ways[i]
+					if w.epoch != c.epoch || !w.dirty {
+						continue
+					}
+					if rs.Contains(w.tag) {
+						commit(w.tag, w.ver)
+						w.dirty = false
+						c.dirtyLines--
+						n++
+					} else {
+						remaining = true
+					}
+				}
+				if !remaining {
+					c.dirtySets[wi] &^= 1 << b
+				}
+			}
+			b++
 		}
 	}
 	return n
@@ -344,7 +478,7 @@ func (c *Cache) FlushRanges(rs RangeSet, commit func(line Addr, ver uint32)) int
 func (c *Cache) ValidInRanges(rs RangeSet) int {
 	n := 0
 	for i := range c.sets {
-		if c.sets[i].valid && rs.Contains(c.sets[i].tag) {
+		if c.sets[i].epoch == c.epoch && rs.Contains(c.sets[i].tag) {
 			n++
 		}
 	}

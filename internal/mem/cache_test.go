@@ -175,7 +175,7 @@ func TestCacheCountersInvariant(t *testing.T) {
 	c := must(NewCache("p", 8*64*2, 2, 64))
 	lines := func() (valid, dirty int) {
 		for _, w := range c.sets {
-			if w.valid {
+			if w.epoch == c.epoch {
 				valid++
 				if w.dirty {
 					dirty++

@@ -23,6 +23,12 @@ func FuzzRangeSet(f *testing.F) {
 	f.Add(seed(10, 10, 5, 3))              // empty and inverted ranges
 	f.Add(seed(0, 1<<40, 1<<20, 1<<21))    // containment
 	f.Add(seed(4096, 8192, 0, 4096, 2, 3)) // reverse-order adds
+	// Merge-at-boundary: the new range exactly bridges two stored ones, so
+	// an in-place Add must collapse a three-range window into one.
+	f.Add(seed(0, 64, 128, 192, 64, 128))
+	// Adjacent-coalesce across the inline->spill transition: five disjoint
+	// ranges force the spill representation, then one range glues them all.
+	f.Add(seed(0, 64, 128, 192, 256, 320, 384, 448, 512, 576, 64, 512))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s RangeSet
@@ -95,5 +101,68 @@ func FuzzRangeSet(f *testing.F) {
 		if s.Contains(1 << 50) {
 			t.Fatal("clone shares storage with original")
 		}
+
+		// Set algebra: split the inserted ranges into two sets and verify
+		// AddSet/IntersectSet/OverlapsSet against direct membership over the
+		// inserted ranges at every interesting point (all endpoints +/- 1).
+		var a, b RangeSet
+		for i, r := range added {
+			if i%2 == 0 {
+				a.Add(r)
+			} else {
+				b.Add(r)
+			}
+		}
+		inA := func(p Addr) bool {
+			for i, r := range added {
+				if i%2 == 0 && r.Contains(p) {
+					return true
+				}
+			}
+			return false
+		}
+		inB := func(p Addr) bool {
+			for i, r := range added {
+				if i%2 == 1 && r.Contains(p) {
+					return true
+				}
+			}
+			return false
+		}
+		union := a.Clone()
+		union.AddSet(b)
+		inter := a.Clone()
+		inter.IntersectSet(b)
+		for _, r := range added {
+			for _, p := range []Addr{r.Lo - 1, r.Lo, r.Hi - 1, r.Hi} {
+				if got, want := union.Contains(p), inA(p) || inB(p); got != want {
+					t.Fatalf("union.Contains(%#x) = %v, model %v", p, got, want)
+				}
+				if got, want := inter.Contains(p), inA(p) && inB(p); got != want {
+					t.Fatalf("inter.Contains(%#x) = %v, model %v", p, got, want)
+				}
+			}
+		}
+		if union.Size() != s.Size() || union.Len() != s.Len() {
+			t.Fatalf("a union b != all added: %v vs %v", union, s)
+		}
+		if a.OverlapsSet(b) != !inter.Empty() {
+			t.Fatalf("OverlapsSet = %v but intersection = %v", a.OverlapsSet(b), inter)
+		}
+		// In-place AddSet must not corrupt its argument.
+		if !b.Equal(bClone(added)) {
+			t.Fatal("AddSet mutated its read-only argument")
+		}
 	})
+}
+
+// bClone rebuilds the odd-index set from scratch for aliasing checks.
+func bClone(added []Range) RangeSet {
+	var b RangeSet
+	for i, r := range added {
+		if i%2 == 1 {
+			b.Add(r)
+		}
+	}
+	return b
 }

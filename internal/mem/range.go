@@ -88,10 +88,24 @@ func (r Range) String() string {
 	return fmt.Sprintf("[%#x,%#x)", r.Lo, r.Hi)
 }
 
+// inlineRanges is the small-set capacity stored directly in a RangeSet.
+// Kernel-argument annotations are overwhelmingly 1-2 ranges per chiplet, so
+// the inline array removes the per-set slice allocation the CP's bookkeeping
+// would otherwise pay on every launch.
+const inlineRanges = 4
+
 // RangeSet is a normalized set of disjoint, sorted, non-adjacent ranges.
 // The zero value is an empty set.
+//
+// Small sets (up to inlineRanges members) live in an inline array, so
+// copying a RangeSet value copies them outright. Larger sets spill to a
+// slice; mutating methods then edit that slice in place, so two RangeSet
+// values must not share a spill slice across mutation — use Clone when a
+// stored set and a live set could both be mutated.
 type RangeSet struct {
-	rs []Range
+	inline [inlineRanges]Range
+	spill  []Range // non-nil: authoritative storage, inline unused
+	n      int32   // member count while inline
 }
 
 // NewRangeSet builds a set from arbitrary ranges, normalizing them.
@@ -103,46 +117,216 @@ func NewRangeSet(ranges ...Range) RangeSet {
 	return s
 }
 
-// Add inserts r, merging with any overlapping or adjacent members.
+// Len returns the number of disjoint ranges.
+func (s RangeSet) Len() int {
+	if s.spill != nil {
+		return len(s.spill)
+	}
+	return int(s.n)
+}
+
+// At returns the i-th range in ascending order. Together with Len it is the
+// allocation-free way to iterate a set.
+func (s *RangeSet) At(i int) Range {
+	if s.spill != nil {
+		return s.spill[i]
+	}
+	return s.inline[i]
+}
+
+// Equal reports whether s and o contain exactly the same ranges.
+func (s *RangeSet) Equal(o RangeSet) bool {
+	n := s.Len()
+	if n != o.Len() {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if s.At(i) != o.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// view returns the members as a slice aliasing the receiver's storage.
+func (s *RangeSet) view() []Range {
+	if s.spill != nil {
+		return s.spill
+	}
+	return s.inline[:s.n]
+}
+
+// setTo replaces the members with out (sorted, disjoint, non-adjacent),
+// reusing the existing spill slice when it has capacity.
+func (s *RangeSet) setTo(out []Range) {
+	if s.spill == nil && len(out) <= inlineRanges {
+		s.n = int32(copy(s.inline[:], out))
+		return
+	}
+	if cap(s.spill) >= len(out) {
+		s.spill = s.spill[:len(out)]
+		copy(s.spill, out)
+		return
+	}
+	s.spill = make([]Range, len(out))
+	copy(s.spill, out)
+	s.n = 0
+}
+
+// Add inserts r, merging with any overlapping or adjacent members. The edit
+// is in place: an insert shifts the tail right (growing storage only when
+// needed), a merge collapses the overlapped window with a copy-within.
 func (s *RangeSet) Add(r Range) {
 	if r.Empty() {
 		return
 	}
-	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi >= r.Lo })
+	rs := s.view()
+	n := len(rs)
+	// First member that could merge with r: linear for the inline array,
+	// binary for a spilled slice.
+	var i int
+	if s.spill == nil {
+		for i < n && rs[i].Hi < r.Lo {
+			i++
+		}
+	} else {
+		i = sort.Search(n, func(k int) bool { return rs[k].Hi >= r.Lo })
+	}
 	j := i
 	merged := r
-	for j < len(s.rs) && s.rs[j].Lo <= merged.Hi {
-		merged = merged.Union(s.rs[j])
+	for j < n && rs[j].Lo <= merged.Hi {
+		merged = merged.Union(rs[j])
 		j++
 	}
-	out := make([]Range, 0, len(s.rs)-(j-i)+1)
-	out = append(out, s.rs[:i]...)
-	out = append(out, merged)
-	out = append(out, s.rs[j:]...)
-	s.rs = out
+	if i < j {
+		// Collapse the merged window [i, j) into one slot.
+		rs[i] = merged
+		copy(rs[i+1:], rs[j:])
+		s.truncate(n - (j - i) + 1)
+		return
+	}
+	// Pure insert at i.
+	if s.spill == nil {
+		if n < inlineRanges {
+			copy(s.inline[i+1:n+1], s.inline[i:n])
+			s.inline[i] = merged
+			s.n++
+			return
+		}
+		sp := make([]Range, n+1, 2*inlineRanges)
+		copy(sp, s.inline[:i])
+		sp[i] = merged
+		copy(sp[i+1:], s.inline[i:])
+		s.spill = sp
+		s.n = 0
+		return
+	}
+	s.spill = append(s.spill, Range{})
+	copy(s.spill[i+1:], s.spill[i:])
+	s.spill[i] = merged
 }
 
-// AddSet inserts every range of o.
-func (s *RangeSet) AddSet(o RangeSet) {
-	for _, r := range o.rs {
-		s.Add(r)
+// truncate shortens the member count to n after an in-place collapse.
+func (s *RangeSet) truncate(n int) {
+	if s.spill != nil {
+		s.spill = s.spill[:n]
+		return
 	}
+	s.n = int32(n)
+}
+
+// AddSet inserts every range of o with a single linear merge-walk over the
+// two sorted sets (the old per-range Add was O(len(s)) per insertion).
+func (s *RangeSet) AddSet(o RangeSet) {
+	on := o.Len()
+	if on == 0 {
+		return
+	}
+	sn := s.Len()
+	if sn == 0 {
+		s.setTo(o.view())
+		return
+	}
+	if on == 1 {
+		s.Add(o.At(0))
+		return
+	}
+	var stack [2 * inlineRanges]Range
+	out := stack[:0]
+	if sn+on > len(stack) {
+		out = make([]Range, 0, sn+on)
+	}
+	sv, ov := s.view(), o.view()
+	i, j := 0, 0
+	for i < sn || j < on {
+		var r Range
+		if j >= on || (i < sn && sv[i].Lo <= ov[j].Lo) {
+			r = sv[i]
+			i++
+		} else {
+			r = ov[j]
+			j++
+		}
+		if k := len(out) - 1; k >= 0 && r.Lo <= out[k].Hi {
+			if r.Hi > out[k].Hi {
+				out[k].Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	s.setTo(out)
+}
+
+// IntersectSet reduces s to the bytes covered by both s and o, with a linear
+// merge-walk over the two sorted sets.
+func (s *RangeSet) IntersectSet(o RangeSet) {
+	sn, on := s.Len(), o.Len()
+	if sn == 0 {
+		return
+	}
+	if on == 0 {
+		s.truncate(0)
+		return
+	}
+	var stack [2 * inlineRanges]Range
+	out := stack[:0]
+	if sn+on > len(stack) {
+		out = make([]Range, 0, sn+on)
+	}
+	sv, ov := s.view(), o.view()
+	i, j := 0, 0
+	for i < sn && j < on {
+		if x := sv[i].Intersect(ov[j]); !x.Empty() {
+			out = append(out, x)
+		}
+		if sv[i].Hi <= ov[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	s.setTo(out)
 }
 
 // Ranges returns the normalized members in ascending order. The returned
-// slice is shared; callers must not mutate it.
-func (s RangeSet) Ranges() []Range { return s.rs }
-
-// Len returns the number of disjoint ranges.
-func (s RangeSet) Len() int { return len(s.rs) }
+// slice is shared with (or copied from) the set's storage; callers must not
+// mutate it. Hot paths should iterate with Len and At instead, which never
+// allocate.
+func (s RangeSet) Ranges() []Range {
+	if s.spill != nil {
+		return s.spill
+	}
+	return s.inline[:s.n]
+}
 
 // Empty reports whether the set covers no bytes.
-func (s RangeSet) Empty() bool { return len(s.rs) == 0 }
+func (s RangeSet) Empty() bool { return s.Len() == 0 }
 
 // Size returns the total bytes covered.
 func (s RangeSet) Size() uint64 {
 	var n uint64
-	for _, r := range s.rs {
+	for _, r := range s.view() {
 		n += r.Size()
 	}
 	return n
@@ -150,21 +334,47 @@ func (s RangeSet) Size() uint64 {
 
 // Contains reports whether a lies in any member range.
 func (s RangeSet) Contains(a Addr) bool {
-	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi > a })
-	return i < len(s.rs) && s.rs[i].Contains(a)
+	rs := s.view()
+	if s.spill != nil {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi > a })
+		return i < len(rs) && rs[i].Contains(a)
+	}
+	for _, r := range rs {
+		if r.Contains(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // Overlaps reports whether any member overlaps r.
 func (s RangeSet) Overlaps(r Range) bool {
-	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi > r.Lo })
-	return i < len(s.rs) && s.rs[i].Overlaps(r)
+	rs := s.view()
+	if s.spill != nil {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi > r.Lo })
+		return i < len(rs) && rs[i].Overlaps(r)
+	}
+	for _, m := range rs {
+		if m.Overlaps(r) {
+			return true
+		}
+	}
+	return false
 }
 
-// OverlapsSet reports whether the two sets share at least one byte.
+// OverlapsSet reports whether the two sets share at least one byte, with a
+// linear walk over the two sorted sets.
 func (s RangeSet) OverlapsSet(o RangeSet) bool {
-	for _, r := range o.rs {
-		if s.Overlaps(r) {
+	sv, ov := s.view(), o.view()
+	i, j := 0, 0
+	for i < len(sv) && j < len(ov) {
+		if sv[i].Overlaps(ov[j]) {
 			return true
+		}
+		if sv[i].Hi <= ov[j].Hi {
+			i++
+		} else {
+			j++
 		}
 	}
 	return false
@@ -172,22 +382,26 @@ func (s RangeSet) OverlapsSet(o RangeSet) bool {
 
 // Bounds returns the smallest single range covering the set.
 func (s RangeSet) Bounds() Range {
-	if len(s.rs) == 0 {
+	rs := s.view()
+	if len(rs) == 0 {
 		return Range{}
 	}
-	return Range{s.rs[0].Lo, s.rs[len(s.rs)-1].Hi}
+	return Range{rs[0].Lo, rs[len(rs)-1].Hi}
 }
 
 // Clone returns an independent copy.
 func (s RangeSet) Clone() RangeSet {
-	c := RangeSet{rs: make([]Range, len(s.rs))}
-	copy(c.rs, s.rs)
+	if s.spill == nil {
+		return s // the inline array is copied by value
+	}
+	c := RangeSet{spill: make([]Range, len(s.spill))}
+	copy(c.spill, s.spill)
 	return c
 }
 
 func (s RangeSet) String() string {
 	out := ""
-	for i, r := range s.rs {
+	for i, r := range s.view() {
 		if i > 0 {
 			out += " "
 		}

@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// modelSet is the naive reference implementation of RangeSet: one boolean
+// per address over a small universe. Every RangeSet operation has an obvious
+// one-line counterpart here, so disagreement is always a RangeSet bug.
+type modelSet map[Addr]bool
+
+func (m modelSet) add(r Range) {
+	for p := r.Lo; p < r.Hi; p++ {
+		m[p] = true
+	}
+}
+
+func (m modelSet) addSet(o modelSet) {
+	for p := range o {
+		m[p] = true
+	}
+}
+
+func (m modelSet) intersect(o modelSet) {
+	for p := range m {
+		if !o[p] {
+			delete(m, p)
+		}
+	}
+}
+
+func (m modelSet) size() uint64 { return uint64(len(m)) }
+
+func (m modelSet) overlaps(o modelSet) bool {
+	for p := range m {
+		if o[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAgainstModel compares a RangeSet with its model point by point over
+// the universe, plus the aggregate queries.
+func checkAgainstModel(t *testing.T, tag string, s *RangeSet, m modelSet, universe Addr) {
+	t.Helper()
+	for p := Addr(0); p < universe; p++ {
+		if s.Contains(p) != m[p] {
+			t.Fatalf("%s: Contains(%d) = %v, model %v (set %v)", tag, p, s.Contains(p), m[p], s)
+		}
+	}
+	if s.Size() != m.size() {
+		t.Fatalf("%s: Size = %d, model %d (set %v)", tag, s.Size(), m.size(), s)
+	}
+	if s.Empty() != (m.size() == 0) {
+		t.Fatalf("%s: Empty = %v, model size %d", tag, s.Empty(), m.size())
+	}
+	// Stored representation invariants: sorted, disjoint, non-adjacent.
+	for i := 1; i < s.Len(); i++ {
+		prev, cur := s.At(i-1), s.At(i)
+		if prev.Hi >= cur.Lo {
+			t.Fatalf("%s: ranges %v, %v not disjoint-and-separated", tag, prev, cur)
+		}
+	}
+}
+
+// TestRangeSetModel drives random Add/AddSet/IntersectSet sequences over a
+// small address universe against the map model. The universe is sized so
+// sets regularly cross the inline/spill boundary in both directions
+// (IntersectSet shrinks spilled sets back under the inline capacity).
+func TestRangeSetModel(t *testing.T) {
+	const universe = Addr(192)
+	rnd := rand.New(rand.NewSource(20240807))
+	for trial := 0; trial < 300; trial++ {
+		var s RangeSet
+		m := modelSet{}
+		for op := 0; op < 30; op++ {
+			switch rnd.Intn(5) {
+			case 0, 1: // Add dominates: it is the hot operation
+				lo := Addr(rnd.Intn(int(universe)))
+				hi := lo + Addr(rnd.Intn(24))
+				s.Add(Range{Lo: lo, Hi: hi})
+				m.add(Range{Lo: lo, Hi: hi})
+			case 2: // AddSet with a random small set
+				var o RangeSet
+				om := modelSet{}
+				for i := rnd.Intn(6); i > 0; i-- {
+					lo := Addr(rnd.Intn(int(universe)))
+					hi := lo + Addr(rnd.Intn(16))
+					o.Add(Range{Lo: lo, Hi: hi})
+					om.add(Range{Lo: lo, Hi: hi})
+				}
+				s.AddSet(o)
+				m.addSet(om)
+			case 3: // IntersectSet against a mask
+				var o RangeSet
+				om := modelSet{}
+				for i := 1 + rnd.Intn(5); i > 0; i-- {
+					lo := Addr(rnd.Intn(int(universe)))
+					hi := lo + Addr(rnd.Intn(48))
+					o.Add(Range{Lo: lo, Hi: hi})
+					om.add(Range{Lo: lo, Hi: hi})
+				}
+				s.IntersectSet(o)
+				m.intersect(om)
+			case 4: // Overlaps probes
+				lo := Addr(rnd.Intn(int(universe)))
+				hi := lo + Addr(rnd.Intn(32))
+				r := Range{Lo: lo, Hi: hi}
+				want := false
+				for p := lo; p < hi; p++ {
+					if m[p] {
+						want = true
+						break
+					}
+				}
+				if s.Overlaps(r) != want {
+					t.Fatalf("trial %d: Overlaps(%v) = %v, model %v", trial, r, s.Overlaps(r), want)
+				}
+			}
+			checkAgainstModel(t, "after op", &s, m, universe)
+		}
+
+		// OverlapsSet against an independent random set.
+		var o RangeSet
+		om := modelSet{}
+		for i := rnd.Intn(8); i > 0; i-- {
+			lo := Addr(rnd.Intn(int(universe)))
+			hi := lo + Addr(rnd.Intn(16))
+			o.Add(Range{Lo: lo, Hi: hi})
+			om.add(Range{Lo: lo, Hi: hi})
+		}
+		if got, want := s.OverlapsSet(o), m.overlaps(om); got != want {
+			t.Fatalf("trial %d: OverlapsSet = %v, model %v", trial, got, want)
+		}
+
+		// Clone independence after the whole history.
+		c := s.Clone()
+		c.Add(Range{Lo: universe + 10, Hi: universe + 20})
+		checkAgainstModel(t, "original after clone mutate", &s, m, universe)
+	}
+}

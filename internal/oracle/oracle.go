@@ -335,7 +335,8 @@ func (o *Oracle) applyPlan(plan coherence.SyncPlan) {
 			}
 			continue
 		}
-		for _, r := range op.Ranges.Ranges() {
+		for i, n := 0, op.Ranges.Len(); i < n; i++ {
+			r := op.Ranges.At(i)
 			for line := r.Lo &^ (o.lineSize - 1); line < r.Hi; line += o.lineSize {
 				if st, ok := o.byHome[c][line]; ok {
 					apply(st)
@@ -347,7 +348,8 @@ func (o *Oracle) applyPlan(plan coherence.SyncPlan) {
 
 // eachLine walks the line addresses of a declared range set.
 func (o *Oracle) eachLine(rs mem.RangeSet, fn func(mem.Addr)) {
-	for _, r := range rs.Ranges() {
+	for i, n := 0, rs.Len(); i < n; i++ {
+		r := rs.At(i)
 		for line := r.Lo &^ (o.lineSize - 1); line < r.Hi; line += o.lineSize {
 			fn(line)
 		}

@@ -13,101 +13,195 @@ import (
 	"strings"
 )
 
-// Counter identifies one statistic. Counters are grouped by component so the
-// energy model and the figure harness can aggregate by subsystem.
-type Counter string
+// Counter identifies one statistic: a dense index into the sheet's counter
+// array. The access-path hot loops bump several counters per cache line, so
+// a counter is an integer — Sheet.Add is an array increment — while the
+// external name (used in JSON, traces, and figures) lives in a parallel
+// name table. Counters are grouped by component so the energy model and the
+// figure harness can aggregate by subsystem.
+type Counter int32
 
 // Cache and memory counters.
 const (
-	L1Hits        Counter = "l1.hits"
-	L1Misses      Counter = "l1.misses"
-	L1Accesses    Counter = "l1.accesses"
-	L2Hits        Counter = "l2.hits"
-	L2Misses      Counter = "l2.misses"
-	L2Accesses    Counter = "l2.accesses"
-	L2RemoteHits  Counter = "l2.remote_hits" // served by another chiplet's L2 (HMG home node)
-	L2Writebacks  Counter = "l2.writebacks"
-	L2WriteThru   Counter = "l2.write_through"
-	L2Invalidates Counter = "l2.invalidated_lines"
-	L2FlushOps    Counter = "l2.flush_ops"
-	L2InvOps      Counter = "l2.invalidate_ops"
-	L3Hits        Counter = "l3.hits"
-	L3Misses      Counter = "l3.misses"
-	L3Accesses    Counter = "l3.accesses"
-	L3Writebacks  Counter = "l3.writebacks"
-	DRAMReads     Counter = "dram.reads"
-	DRAMWrites    Counter = "dram.writes"
-	LDSAccesses   Counter = "lds.accesses"
-)
+	L1Hits Counter = iota
+	L1Misses
+	L1Accesses
+	L2Hits
+	L2Misses
+	L2Accesses
+	L2RemoteHits // served by another chiplet's L2 (HMG home node)
+	L2Writebacks
+	L2WriteThru
+	L2Invalidates
+	L2FlushOps
+	L2InvOps
+	L3Hits
+	L3Misses
+	L3Accesses
+	L3Writebacks
+	DRAMReads
+	DRAMWrites
+	LDSAccesses
 
-// Network counters, measured in flits (Figure 10's three classes).
-const (
-	FlitsL1L2   Counter = "noc.flits.l1_l2"
-	FlitsL2L3   Counter = "noc.flits.l2_l3"
-	FlitsRemote Counter = "noc.flits.remote"
+	// Network counters, measured in flits (Figure 10's three classes).
+	FlitsL1L2
+	FlitsL2L3
+	FlitsRemote
 	// FlitsInterGPU counts remote flits that additionally crossed the
 	// inter-GPU interconnect (MGPU systems; a subset of FlitsRemote).
-	FlitsInterGPU Counter = "noc.flits.inter_gpu"
+	FlitsInterGPU
+
+	// Synchronization and command-processor counters.
+	AcquiresIssued
+	ReleasesIssued
+	AcquiresElided
+	ReleasesElided
+	SyncCycles
+	CPMessages
+	KernelsLaunched
+	TableCoarsening
+	TablePeakUse
+	DirEvictions
+	DirInvals
+
+	// Fault-injection and CP-watchdog counters (internal/faults). Additive
+	// per-run tallies of what the injector fired and how the watchdog
+	// reacted.
+	FaultReqDrops
+	FaultAckDrops
+	FaultAckDelays
+	FaultDelayCycles
+	FaultLinkWindows
+	FaultTableParity
+	WatchdogRetries
+	WatchdogBackoffCycles
+	WatchdogDegradations
+	TableParityResets
+	TableDegradations
+	FlitsRemoteDegraded
+
+	// Experiment-farm counters (internal/farm). These are absolute levels
+	// mirrored from the farm's own atomic tallies, not additive per-run
+	// deltas, so they carry max semantics.
+	FarmJobs
+	FarmCacheHits
+	FarmCacheMisses
+	FarmDedupWaits
+	FarmRuns
+	FarmErrors
+	FarmPanics
+	FarmEvictions
+	FarmRetries
+	FarmTimeouts
+	FarmStoreHits
+	FarmStorePuts
+	FarmStoreErrors
+
+	// Timing counters.
+	TotalCycles
+	ComputeCycles
+	MemoryCycles
+	StaleReads // functional checker violations; must be 0
+
+	numCounters // sentinel: the dense array size
 )
 
-// Synchronization and command-processor counters.
-const (
-	AcquiresIssued  Counter = "sync.acquires"
-	ReleasesIssued  Counter = "sync.releases"
-	AcquiresElided  Counter = "sync.acquires_elided"
-	ReleasesElided  Counter = "sync.releases_elided"
-	SyncCycles      Counter = "sync.exposed_cycles"
-	CPMessages      Counter = "cp.messages"
-	KernelsLaunched Counter = "cp.kernels_launched"
-	TableCoarsening Counter = "cp.table_coarsenings"
-	TablePeakUse    Counter = "cp.table_peak_entries"
-	DirEvictions    Counter = "hmg.directory_evictions"
-	DirInvals       Counter = "hmg.directory_invalidations"
-)
+// counterNames maps each Counter to its external name. The names are the
+// stable serialization format: JSON sheets, traces, and the figure harness
+// all key on them, never on the integer values.
+var counterNames = [numCounters]string{
+	L1Hits:        "l1.hits",
+	L1Misses:      "l1.misses",
+	L1Accesses:    "l1.accesses",
+	L2Hits:        "l2.hits",
+	L2Misses:      "l2.misses",
+	L2Accesses:    "l2.accesses",
+	L2RemoteHits:  "l2.remote_hits",
+	L2Writebacks:  "l2.writebacks",
+	L2WriteThru:   "l2.write_through",
+	L2Invalidates: "l2.invalidated_lines",
+	L2FlushOps:    "l2.flush_ops",
+	L2InvOps:      "l2.invalidate_ops",
+	L3Hits:        "l3.hits",
+	L3Misses:      "l3.misses",
+	L3Accesses:    "l3.accesses",
+	L3Writebacks:  "l3.writebacks",
+	DRAMReads:     "dram.reads",
+	DRAMWrites:    "dram.writes",
+	LDSAccesses:   "lds.accesses",
 
-// Fault-injection and CP-watchdog counters (internal/faults). Additive
-// per-run tallies of what the injector fired and how the watchdog reacted.
-const (
-	FaultReqDrops         Counter = "faults.req_drops"
-	FaultAckDrops         Counter = "faults.ack_drops"
-	FaultAckDelays        Counter = "faults.ack_delays"
-	FaultDelayCycles      Counter = "faults.ack_delay_cycles"
-	FaultLinkWindows      Counter = "faults.link_windows"
-	FaultTableParity      Counter = "faults.table_parity"
-	WatchdogRetries       Counter = "cp.watchdog_retries"
-	WatchdogBackoffCycles Counter = "cp.watchdog_backoff_cycles"
-	WatchdogDegradations  Counter = "cp.watchdog_degradations"
-	TableParityResets     Counter = "cp.table_parity_resets"
-	TableDegradations     Counter = "cp.table_degradations"
-	FlitsRemoteDegraded   Counter = "noc.flits.remote_degraded"
-)
+	FlitsL1L2:     "noc.flits.l1_l2",
+	FlitsL2L3:     "noc.flits.l2_l3",
+	FlitsRemote:   "noc.flits.remote",
+	FlitsInterGPU: "noc.flits.inter_gpu",
 
-// Experiment-farm counters (internal/farm). These are absolute levels
-// mirrored from the farm's own atomic tallies, not additive per-run
-// deltas, so they carry max semantics.
-const (
-	FarmJobs        Counter = "farm.jobs"
-	FarmCacheHits   Counter = "farm.cache_hits"
-	FarmCacheMisses Counter = "farm.cache_misses"
-	FarmDedupWaits  Counter = "farm.dedup_waits"
-	FarmRuns        Counter = "farm.runs"
-	FarmErrors      Counter = "farm.errors"
-	FarmPanics      Counter = "farm.panics"
-	FarmEvictions   Counter = "farm.cache_evictions"
-	FarmRetries     Counter = "farm.retries"
-	FarmTimeouts    Counter = "farm.timeouts"
-	FarmStoreHits   Counter = "farm.store_hits"
-	FarmStorePuts   Counter = "farm.store_puts"
-	FarmStoreErrors Counter = "farm.store_errors"
-)
+	AcquiresIssued:  "sync.acquires",
+	ReleasesIssued:  "sync.releases",
+	AcquiresElided:  "sync.acquires_elided",
+	ReleasesElided:  "sync.releases_elided",
+	SyncCycles:      "sync.exposed_cycles",
+	CPMessages:      "cp.messages",
+	KernelsLaunched: "cp.kernels_launched",
+	TableCoarsening: "cp.table_coarsenings",
+	TablePeakUse:    "cp.table_peak_entries",
+	DirEvictions:    "hmg.directory_evictions",
+	DirInvals:       "hmg.directory_invalidations",
 
-// Timing counters.
-const (
-	TotalCycles   Counter = "time.total_cycles"
-	ComputeCycles Counter = "time.compute_cycles"
-	MemoryCycles  Counter = "time.memory_cycles"
-	StaleReads    Counter = "check.stale_reads" // functional checker violations; must be 0
-)
+	FaultReqDrops:         "faults.req_drops",
+	FaultAckDrops:         "faults.ack_drops",
+	FaultAckDelays:        "faults.ack_delays",
+	FaultDelayCycles:      "faults.ack_delay_cycles",
+	FaultLinkWindows:      "faults.link_windows",
+	FaultTableParity:      "faults.table_parity",
+	WatchdogRetries:       "cp.watchdog_retries",
+	WatchdogBackoffCycles: "cp.watchdog_backoff_cycles",
+	WatchdogDegradations:  "cp.watchdog_degradations",
+	TableParityResets:     "cp.table_parity_resets",
+	TableDegradations:     "cp.table_degradations",
+	FlitsRemoteDegraded:   "noc.flits.remote_degraded",
+
+	FarmJobs:        "farm.jobs",
+	FarmCacheHits:   "farm.cache_hits",
+	FarmCacheMisses: "farm.cache_misses",
+	FarmDedupWaits:  "farm.dedup_waits",
+	FarmRuns:        "farm.runs",
+	FarmErrors:      "farm.errors",
+	FarmPanics:      "farm.panics",
+	FarmEvictions:   "farm.cache_evictions",
+	FarmRetries:     "farm.retries",
+	FarmTimeouts:    "farm.timeouts",
+	FarmStoreHits:   "farm.store_hits",
+	FarmStorePuts:   "farm.store_puts",
+	FarmStoreErrors: "farm.store_errors",
+
+	TotalCycles:   "time.total_cycles",
+	ComputeCycles: "time.compute_cycles",
+	MemoryCycles:  "time.memory_cycles",
+	StaleReads:    "check.stale_reads",
+}
+
+// counterByName inverts counterNames for UnmarshalJSON and tooling.
+var counterByName = func() map[string]Counter {
+	m := make(map[string]Counter, numCounters)
+	for c, name := range counterNames {
+		m[name] = Counter(c)
+	}
+	return m
+}()
+
+// String returns the counter's external name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("counter(%d)", int32(c))
+	}
+	return counterNames[c]
+}
+
+// CounterByName resolves an external counter name.
+func CounterByName(name string) (Counter, bool) {
+	c, ok := counterByName[name]
+	return c, ok
+}
 
 // maxSemantics registers the counters that are levels or peaks rather than
 // additive tallies: a running high-water mark (TablePeakUse), a cumulative
@@ -115,46 +209,54 @@ const (
 // absolute (TotalCycles, StaleReads). Combining two observations of such a
 // counter must take the maximum — summing two peaks produces a bogus peak —
 // and a windowed delta must report the current absolute value.
-var maxSemantics = map[Counter]bool{
-	TablePeakUse:    true,
-	TableCoarsening: true,
-	TotalCycles:     true,
-	StaleReads:      true,
-	FarmJobs:        true,
-	FarmCacheHits:   true,
-	FarmCacheMisses: true,
-	FarmDedupWaits:  true,
-	FarmRuns:        true,
-	FarmErrors:      true,
-	FarmPanics:      true,
-	FarmEvictions:   true,
-	FarmRetries:     true,
-	FarmTimeouts:    true,
-	FarmStoreHits:   true,
-	FarmStorePuts:   true,
-	FarmStoreErrors: true,
-}
+var maxSemantics = func() [numCounters]bool {
+	var m [numCounters]bool
+	for _, c := range []Counter{
+		TablePeakUse, TableCoarsening, TotalCycles, StaleReads,
+		FarmJobs, FarmCacheHits, FarmCacheMisses, FarmDedupWaits,
+		FarmRuns, FarmErrors, FarmPanics, FarmEvictions, FarmRetries,
+		FarmTimeouts, FarmStoreHits, FarmStorePuts, FarmStoreErrors,
+	} {
+		m[c] = true
+	}
+	return m
+}()
 
 // IsMax reports whether counter c carries peak/level semantics: Merge takes
 // the maximum for it, and DeltaFrom reports its absolute value.
-func IsMax(c Counter) bool { return maxSemantics[c] }
+func IsMax(c Counter) bool { return c >= 0 && c < numCounters && maxSemantics[c] }
 
-// Sheet is a set of named counters. The zero value is ready to use after
-// a call to make via New; methods on a nil Sheet are no-ops so components
-// can be run without instrumentation.
+const touchedWords = (int(numCounters) + 63) / 64
+
+// Sheet is a set of named counters, stored as a dense array indexed by
+// Counter with a touched bitset (a touched-but-zero counter still appears in
+// JSON and Counters, matching the former map semantics). The zero value is
+// ready to use; methods on a nil Sheet are no-ops so components can be run
+// without instrumentation.
 type Sheet struct {
-	v map[Counter]uint64
+	v       [numCounters]uint64
+	touched [touchedWords]uint64
+
+	// extra preserves counters unmarshaled from JSON whose names this build
+	// does not know (e.g. a results file from a newer schema). Nil in every
+	// sheet that never saw such a name.
+	extra map[string]uint64
 }
 
 // New returns an empty Sheet.
-func New() *Sheet { return &Sheet{v: make(map[Counter]uint64)} }
+func New() *Sheet { return &Sheet{} }
+
+func (s *Sheet) touch(c Counter) { s.touched[c>>6] |= 1 << (c & 63) }
+
+func (s *Sheet) isTouched(c Counter) bool { return s.touched[c>>6]&(1<<(c&63)) != 0 }
 
 // Add increments counter c by n.
 func (s *Sheet) Add(c Counter, n uint64) {
-	if s == nil {
+	if s == nil || c < 0 || c >= numCounters {
 		return
 	}
 	s.v[c] += n
+	s.touch(c)
 }
 
 // Inc increments counter c by one.
@@ -162,17 +264,20 @@ func (s *Sheet) Inc(c Counter) { s.Add(c, 1) }
 
 // Max raises counter c to n if n is larger than the current value.
 func (s *Sheet) Max(c Counter, n uint64) {
-	if s == nil {
+	if s == nil || c < 0 || c >= numCounters {
 		return
 	}
 	if s.v[c] < n {
 		s.v[c] = n
+		// Touch only on an actual raise, mirroring the former map semantics:
+		// a Max that does not win leaves an absent counter absent.
+		s.touch(c)
 	}
 }
 
 // Get returns the value of counter c (zero if never incremented).
 func (s *Sheet) Get(c Counter) uint64 {
-	if s == nil {
+	if s == nil || c < 0 || c >= numCounters {
 		return 0
 	}
 	return s.v[c]
@@ -180,10 +285,11 @@ func (s *Sheet) Get(c Counter) uint64 {
 
 // Set overwrites counter c with n.
 func (s *Sheet) Set(c Counter, n uint64) {
-	if s == nil {
+	if s == nil || c < 0 || c >= numCounters {
 		return
 	}
 	s.v[c] = n
+	s.touch(c)
 }
 
 // Merge combines every counter of o into s: additive counters sum, while
@@ -193,15 +299,30 @@ func (s *Sheet) Merge(o *Sheet) {
 	if s == nil || o == nil {
 		return
 	}
-	for c, n := range o.v {
+	for c := Counter(0); c < numCounters; c++ {
+		if !o.isTouched(c) {
+			continue
+		}
+		n := o.v[c]
 		if maxSemantics[c] {
 			if s.v[c] < n {
 				s.v[c] = n
 			}
-			continue
+		} else {
+			s.v[c] += n
 		}
-		s.v[c] += n
+		s.touch(c)
 	}
+	for name, n := range o.extra {
+		s.addExtra(name, n)
+	}
+}
+
+func (s *Sheet) addExtra(name string, n uint64) {
+	if s.extra == nil {
+		s.extra = make(map[string]uint64)
+	}
+	s.extra[name] += n
 }
 
 // DeltaFrom returns the counter activity since snapshot prev (typically a
@@ -214,15 +335,21 @@ func (s *Sheet) DeltaFrom(prev *Sheet) *Sheet {
 	if s == nil {
 		return d
 	}
-	for c, n := range s.v {
+	for c := Counter(0); c < numCounters; c++ {
+		if !s.isTouched(c) {
+			continue
+		}
+		n := s.v[c]
 		if maxSemantics[c] {
 			if n != 0 {
 				d.v[c] = n
+				d.touch(c)
 			}
 			continue
 		}
 		if inc := n - prev.Get(c); inc != 0 {
 			d.v[c] = inc
+			d.touch(c)
 		}
 	}
 	return d
@@ -230,26 +357,33 @@ func (s *Sheet) DeltaFrom(prev *Sheet) *Sheet {
 
 // Equal reports whether s and o hold identical nonzero counters.
 func (s *Sheet) Equal(o *Sheet) bool {
-	count := func(sh *Sheet) int {
-		n := 0
-		if sh != nil {
-			for _, v := range sh.v {
-				if v != 0 {
-					n++
-				}
+	for c := Counter(0); c < numCounters; c++ {
+		if s.Get(c) != o.Get(c) {
+			return false
+		}
+	}
+	return extraEqual(s, o)
+}
+
+func extraEqual(s, o *Sheet) bool {
+	get := func(sh *Sheet, name string) uint64 {
+		if sh == nil {
+			return 0
+		}
+		return sh.extra[name]
+	}
+	if s != nil {
+		for name, n := range s.extra {
+			if n != 0 && get(o, name) != n {
+				return false
 			}
 		}
-		return n
 	}
-	if count(s) != count(o) {
-		return false
-	}
-	if s == nil {
-		return true
-	}
-	for c, n := range s.v {
-		if n != 0 && o.Get(c) != n {
-			return false
+	if o != nil {
+		for name, n := range o.extra {
+			if n != 0 && get(s, name) != n {
+				return false
+			}
 		}
 	}
 	return true
@@ -259,8 +393,12 @@ func (s *Sheet) Equal(o *Sheet) bool {
 func (s *Sheet) Clone() *Sheet {
 	c := New()
 	if s != nil {
-		for k, v := range s.v {
-			c.v[k] = v
+		*c = *s
+		if s.extra != nil {
+			c.extra = make(map[string]uint64, len(s.extra))
+			for k, v := range s.extra {
+				c.extra[k] = v
+			}
 		}
 	}
 	return c
@@ -271,21 +409,21 @@ func (s *Sheet) Reset() {
 	if s == nil {
 		return
 	}
-	for k := range s.v {
-		delete(s.v, k)
-	}
+	*s = Sheet{}
 }
 
-// Counters returns the set of counters with nonzero values, sorted by name.
+// Counters returns the touched counters, sorted by name.
 func (s *Sheet) Counters() []Counter {
 	if s == nil {
 		return nil
 	}
-	out := make([]Counter, 0, len(s.v))
-	for c := range s.v {
-		out = append(out, c)
+	var out []Counter
+	for c := Counter(0); c < numCounters; c++ {
+		if s.isTouched(c) {
+			out = append(out, c)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return counterNames[out[i]] < counterNames[out[j]] })
 	return out
 }
 
@@ -298,20 +436,43 @@ func (s *Sheet) String() string {
 	return b.String()
 }
 
-// MarshalJSON renders the sheet as a flat JSON object of counters.
+// MarshalJSON renders the sheet as a flat JSON object of counters, keyed by
+// external name (encoding/json sorts the keys).
 func (s *Sheet) MarshalJSON() ([]byte, error) {
 	if s == nil {
 		return []byte("null"), nil
 	}
-	return json.Marshal(s.v)
+	m := make(map[string]uint64, numCounters)
+	for c := Counter(0); c < numCounters; c++ {
+		if s.isTouched(c) {
+			m[counterNames[c]] = s.v[c]
+		}
+	}
+	for name, n := range s.extra {
+		m[name] = n
+	}
+	return json.Marshal(m)
 }
 
-// UnmarshalJSON restores a sheet marshaled by MarshalJSON.
+// UnmarshalJSON restores a sheet marshaled by MarshalJSON. Names this build
+// does not know are preserved verbatim (and re-emitted by MarshalJSON).
 func (s *Sheet) UnmarshalJSON(b []byte) error {
-	if s.v == nil {
-		s.v = make(map[Counter]uint64)
+	var m map[string]uint64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
 	}
-	return json.Unmarshal(b, &s.v)
+	for name, n := range m {
+		if c, ok := counterByName[name]; ok {
+			s.v[c] = n
+			s.touch(c)
+			continue
+		}
+		if s.extra == nil {
+			s.extra = make(map[string]uint64)
+		}
+		s.extra[name] = n
+	}
+	return nil
 }
 
 // Ratio returns a/b as float64, or 0 when b is 0.

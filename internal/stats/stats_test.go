@@ -69,12 +69,12 @@ func TestSheetCountersSortedAndString(t *testing.T) {
 	s.Inc(L1Hits)
 	cs := s.Counters()
 	for i := 1; i < len(cs); i++ {
-		if cs[i-1] >= cs[i] {
-			t.Fatalf("counters unsorted: %v", cs)
+		if cs[i-1].String() >= cs[i].String() {
+			t.Fatalf("counters unsorted by name: %v", cs)
 		}
 	}
 	out := s.String()
-	if !strings.Contains(out, string(L2Hits)) {
+	if !strings.Contains(out, L2Hits.String()) {
 		t.Errorf("String missing counter: %q", out)
 	}
 }
