@@ -37,7 +37,7 @@ import (
 // version participates in go vet's action cache key (reported via -V=full);
 // bump it when pass behavior changes so cached clean verdicts are not
 // replayed over new rules.
-const version = "v1.0.0"
+const version = "v1.1.0"
 
 func main() {
 	os.Exit(run(os.Args[1:]))

@@ -96,6 +96,8 @@ func main() {
 				extra = fmt.Sprintf(" halo=%d", a.HaloLines)
 			case kernels.Indirect:
 				extra = fmt.Sprintf(" touches=%d hot=%.2f", a.TouchesPerLine, a.HotFraction)
+			case kernels.Linear, kernels.Strided, kernels.Broadcast:
+				// No per-pattern detail beyond the pattern name itself.
 			}
 			fmt.Printf("    %-12s %-4s %-10s%s\n", a.DS.Name, a.Mode, a.Pattern, extra)
 		}

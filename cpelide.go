@@ -771,6 +771,8 @@ func (p *mutatedProtocol) mutateOps(ops []coherence.SyncOp) []coherence.SyncOp {
 			}
 		case MutateWrongChiplet:
 			op.Chiplet = (op.Chiplet + 1) % p.chiplets
+		case MutateNone:
+			// Pass-through; the op is kept as issued.
 		}
 		out = append(out, op)
 	}

@@ -25,7 +25,11 @@ import (
 // PassNames lists the analyzers of the cpelint suite, in report order. The
 // ignores pass validates //cpelint:ignore directives against this list, and
 // the suite registry asserts it stays in sync.
-var PassNames = []string{"determinism", "eventsafety", "errpanic", "ignores"}
+var PassNames = []string{
+	"determinism", "eventsafety", "errpanic",
+	"noalloc", "unitsafety", "ctxflow", "exhaustive",
+	"ignores",
+}
 
 // KnownPass reports whether name is an analyzer of the suite.
 func KnownPass(name string) bool {

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoallocPrefix introduces a function invariant annotation:
+//
+//	//cpelide:noalloc [note]
+//
+// Placed in a function's doc comment, it declares that the function's
+// steady-state execution performs no heap allocation. The noalloc analyzer
+// checks the body statically (composite literals, make/new, append to
+// escaping storage, string concatenation, interface boxing, closures, and
+// calls to functions not themselves annotated), and the AllocsPerRun tests
+// pin the same set of functions to 0 allocs/op dynamically. The optional
+// note is free text for the reader; it does not change the check.
+const NoallocPrefix = "//cpelide:noalloc"
+
+// IsNoallocComment reports whether one comment line is a noalloc annotation.
+func IsNoallocComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, NoallocPrefix)
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// HasNoalloc reports whether the function declaration carries a
+// //cpelide:noalloc annotation in its doc comment.
+func HasNoalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if IsNoallocComment(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoallocFuncs collects the unit's annotated functions, keyed by their
+// types.Object so call sites can be resolved against the set. The second
+// return value lists annotation comments that are not attached to any
+// function declaration — a misplaced annotation annotates nothing and the
+// noalloc pass flags it.
+func NoallocFuncs(files []*ast.File, info *types.Info) (map[types.Object]*ast.FuncDecl, []*ast.Comment) {
+	annotated := map[types.Object]*ast.FuncDecl{}
+	attached := map[*ast.Comment]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if IsNoallocComment(c.Text) {
+					attached[c] = true
+					if obj := info.Defs[fd.Name]; obj != nil {
+						annotated[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	var misplaced []*ast.Comment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if IsNoallocComment(c.Text) && !attached[c] {
+					misplaced = append(misplaced, c)
+				}
+			}
+		}
+	}
+	return annotated, misplaced
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ctxflow"
+)
+
+func TestScopedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "farm", ctxflow.Analyzer)
+}
+
+func TestOutOfScopePackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", "sim", ctxflow.Analyzer)
+}

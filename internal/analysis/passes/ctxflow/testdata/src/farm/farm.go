@@ -1,0 +1,86 @@
+// Package farm exercises the ctxflow pass inside a scoped package: context
+// laundering and unstoppable select loops, plus the idioms that must stay
+// silent.
+package farm
+
+import (
+	"context"
+	"time"
+)
+
+type Farm struct {
+	quit  chan struct{}
+	tasks chan int
+}
+
+// Submit holds a ctx: minting a fresh root severs the caller's deadline.
+func (f *Farm) Submit(ctx context.Context, job int) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background\(\) in Submit severs the caller's cancellation`
+	defer cancel()
+	_ = c
+	d, cancel2 := context.WithTimeout(ctx, time.Second) // deriving from ctx: the fix
+	defer cancel2()
+	return d.Err()
+}
+
+// Launch has no ctx parameter; it owns its lifetime and may mint a root.
+func (f *Farm) Launch(job int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+// reap is a goroutine body: its closure has no ctx parameter, so the root
+// minted inside is the closure's own business even though reap holds a ctx.
+func (f *Farm) reap(ctx context.Context) {
+	go func() {
+		c := context.Background()
+		_ = c
+	}()
+	_ = ctx
+}
+
+// worker loops forever with a quit-channel case: allowed.
+func (f *Farm) worker() {
+	for {
+		select {
+		case t := <-f.tasks:
+			_ = t
+		case <-f.quit:
+			return
+		}
+	}
+}
+
+// spin loops forever with no way to stop it.
+func (f *Farm) spin(ticks chan time.Time) {
+	for {
+		select { // want `for-select loop in spin has no cancellation case`
+		case t := <-ticks:
+			_ = t
+		}
+	}
+}
+
+// poll loops over a select with a ctx.Done() case: allowed.
+func (f *Farm) poll(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-f.tasks:
+			_ = t
+		}
+	}
+}
+
+// drain is a bounded loop (it has a condition), not a service loop: exempt.
+func (f *Farm) drain(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case t := <-f.tasks:
+			_ = t
+		default:
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/exhaustive"
+)
+
+func TestSwitches(t *testing.T) {
+	analysistest.Run(t, "testdata", "repro/sw", exhaustive.Analyzer)
+}

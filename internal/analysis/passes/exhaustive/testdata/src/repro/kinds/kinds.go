@@ -1,0 +1,13 @@
+// Package kinds is a fixture stub: an enum defined in another module package,
+// imported by the unit under test.
+package kinds
+
+// Fault is an injected failure class.
+type Fault int
+
+const (
+	FaultNone Fault = iota
+	FaultCrash
+	FaultPartition
+	numFaults // sentinel: not part of the enum
+)

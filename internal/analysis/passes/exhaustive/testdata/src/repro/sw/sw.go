@@ -1,0 +1,102 @@
+// Package sw exercises the exhaustive pass: partial switches over local and
+// imported enums, empty defaults, and the total switches that stay silent.
+package sw
+
+import (
+	"errors"
+
+	"repro/kinds"
+)
+
+// Protocol is a same-package enum.
+type Protocol int
+
+const (
+	Baseline Protocol = iota
+	Elide
+	Writeback
+	// Aliased shares Elide's value: covering either name covers both.
+	Aliased = Elide
+)
+
+func partial(p Protocol) string {
+	switch p { // want `switch over Protocol is not exhaustive: missing Writeback`
+	case Baseline:
+		return "baseline"
+	case Elide:
+		return "elide"
+	}
+	return ""
+}
+
+func total(p Protocol) string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case Aliased: // alias name covers the Elide value
+		return "elide"
+	case Writeback:
+		return "writeback"
+	}
+	return ""
+}
+
+func defaulted(p Protocol) (string, error) {
+	switch p {
+	case Baseline:
+		return "baseline", nil
+	default:
+		return "", errors.New("unexpected protocol")
+	}
+}
+
+func emptyDefault(p Protocol) string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	default: // want `switch over Protocol has an empty default`
+	}
+	return ""
+}
+
+func imported(f kinds.Fault) string {
+	switch f { // want `switch over Fault is not exhaustive: missing FaultPartition`
+	case kinds.FaultNone:
+		return "none"
+	case kinds.FaultCrash:
+		return "crash"
+	}
+	return ""
+}
+
+// importedTotal covers the enum without naming numFaults: sentinels are
+// excluded from the requirement.
+func importedTotal(f kinds.Fault) string {
+	switch f {
+	case kinds.FaultNone, kinds.FaultCrash, kinds.FaultPartition:
+		return "known"
+	}
+	return ""
+}
+
+// notEnum has one constant only: not enum-like, never checked.
+type notEnum int
+
+const only notEnum = 0
+
+func single(x notEnum) bool {
+	switch x {
+	case only:
+		return true
+	}
+	return false
+}
+
+// untypedSwitch tags a plain int: out of scope.
+func untypedSwitch(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -8,6 +8,7 @@ package ignores
 
 import (
 	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -27,8 +28,8 @@ func run(pass *analysis.Pass) error {
 				"malformed cpelint:ignore directive: want %q", analysis.IgnorePrefix+" <pass> <reason>")
 		case !analysis.KnownPass(ig.Pass):
 			pass.Reportf(ig.Pos,
-				"cpelint:ignore names unknown pass %s (known: determinism, eventsafety, errpanic, ignores)",
-				strconv.Quote(ig.Pass))
+				"cpelint:ignore names unknown pass %s (known: %s)",
+				strconv.Quote(ig.Pass), strings.Join(analysis.PassNames, ", "))
 		case ig.Reason == "":
 			pass.Reportf(ig.Pos,
 				"cpelint:ignore %s is missing a reason: the escape hatch must document why the invariant does not apply here",

@@ -1,0 +1,17 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ignores"
+	"repro/internal/analysis/passes/noalloc"
+)
+
+func TestAnnotatedHotPaths(t *testing.T) {
+	analysistest.Run(t, "testdata", "hot", noalloc.Analyzer, ignores.Analyzer)
+}
+
+func TestMisplacedAnnotation(t *testing.T) {
+	analysistest.Run(t, "testdata", "misplaced", noalloc.Analyzer)
+}

@@ -1,0 +1,132 @@
+// Package hot exercises the noalloc pass: annotated bodies with every
+// allocation shape it flags, plus near-miss negatives that must stay silent.
+package hot
+
+import (
+	"math/bits"
+	"sort"
+)
+
+type Range struct{ Lo, Hi uint64 }
+
+type Set struct {
+	inline [4]Range
+	spill  []Range
+	n      int
+}
+
+var global []Range
+
+// sink is an annotated helper so annotated callers may call it.
+//
+//cpelide:noalloc
+func sink(r Range) uint64 { return r.Hi - r.Lo }
+
+// helper is NOT annotated; calls to it from annotated bodies are findings.
+func helper(r Range) uint64 { return r.Hi - r.Lo }
+
+//cpelide:noalloc
+func compositeLits() {
+	_ = []Range{{0, 1}}    // want `slice literal in noalloc function compositeLits allocates`
+	_ = map[uint64]Range{} // want `map literal in noalloc function compositeLits allocates`
+	_ = &Range{0, 1}       // want `address of composite literal in noalloc function compositeLits`
+	r := Range{0, 1}       // value struct literal: stack, allowed
+	_ = sink(r)
+}
+
+//cpelide:noalloc
+func builtins(n int) {
+	_ = make([]Range, n) // want `make in noalloc function builtins allocates`
+	_ = new(Range)       // want `new in noalloc function builtins allocates`
+}
+
+//cpelide:noalloc
+func appendEscaping(s *Set, r Range) {
+	s.spill = append(s.spill, r) // want `append in noalloc function appendEscaping grows an escaping slice`
+	global = append(global, r)   // want `append in noalloc function appendEscaping grows an escaping slice`
+}
+
+//cpelide:noalloc
+func appendLocalScratch(s *Set, r Range) int {
+	var stack [8]Range
+	out := stack[:0]
+	out = append(out, r) // local scratch: allowed
+	return len(out)
+}
+
+//cpelide:noalloc
+func stringConcat(name string) string {
+	const pre = "a" + "b" // constant-folded: allowed
+	_ = pre
+	return "set:" + name // want `string concatenation in noalloc function stringConcat allocates`
+}
+
+//cpelide:noalloc
+func conversions(b []byte, s string) {
+	_ = string(b) // want `slice-to-string conversion in noalloc function conversions allocates`
+	_ = []byte(s) // want `string-to-slice conversion in noalloc function conversions allocates`
+}
+
+//cpelide:noalloc
+func boxing(r Range, p *Range) {
+	var x any
+	x = r // want `interface boxing in noalloc function boxing`
+	x = p // pointer-shaped: allowed
+	_ = x
+	_ = any(r) // want `conversion to interface in noalloc function boxing boxes`
+}
+
+//cpelide:noalloc
+func boxingReturn(r Range) any {
+	return r // want `interface boxing in noalloc function boxingReturn`
+}
+
+//cpelide:noalloc
+func closures(n int) int {
+	f := func() int { return n } // want `closure in noalloc function closures allocates`
+	return f()                   // want `dynamic call in noalloc function closures`
+}
+
+//cpelide:noalloc
+func sortSearchAllowed(s *Set, lo uint64) int {
+	// A func literal passed directly to sort.Search does not escape.
+	return sort.Search(len(s.spill), func(k int) bool { return s.spill[k].Hi >= lo })
+}
+
+//cpelide:noalloc
+func methodValue(s *Set) func(int) Range {
+	return s.at // want `method value s.at in noalloc function methodValue allocates`
+}
+
+//cpelide:noalloc
+func (s *Set) at(i int) Range { return s.spill[i] }
+
+//cpelide:noalloc
+func calls(r Range) uint64 {
+	a := sink(r)                        // annotated callee: allowed
+	b := helper(r)                      // want `call to helper in noalloc function calls`
+	c := uint64(bits.LeadingZeros64(a)) // allowlisted stdlib: allowed
+	return a + b + c
+}
+
+//cpelide:noalloc
+func dynamicCall(f func() int) int {
+	return f() // want `dynamic call in noalloc function dynamicCall cannot be verified`
+}
+
+//cpelide:noalloc
+func goStmt() {
+	go func() {}() // want `go statement in noalloc function goStmt allocates` `closure in noalloc function goStmt allocates` `dynamic call in noalloc function goStmt`
+}
+
+// notAnnotated may allocate freely: none of this is flagged.
+func notAnnotated(n int) []Range {
+	out := make([]Range, 0, n)
+	return append(out, Range{0, uint64(n)})
+}
+
+//cpelide:noalloc
+func ignoredGrowth(s *Set, r Range) {
+	//cpelint:ignore noalloc amortized spill growth is 0 allocs/op steady-state
+	s.spill = append(s.spill, r)
+}

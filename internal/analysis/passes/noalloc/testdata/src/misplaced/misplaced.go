@@ -1,0 +1,6 @@
+// Package misplaced holds a noalloc annotation that annotates nothing.
+package misplaced
+
+//cpelide:noalloc // want `misplaced //cpelide:noalloc annotation`
+
+func plain() int { return 1 }

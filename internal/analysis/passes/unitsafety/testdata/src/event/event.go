@@ -1,0 +1,5 @@
+// Package event is a fixture stub: just the unit type.
+package event
+
+// Time is a simulated-cycle timestamp.
+type Time uint64

@@ -1,0 +1,5 @@
+// Package mem is a fixture stub: just the unit type.
+package mem
+
+// Addr is a simulated byte address.
+type Addr uint64

@@ -1,0 +1,35 @@
+// Package units exercises the unitsafety pass: unit-laundering conversions
+// and dimensionally invalid arithmetic, plus the span math that must stay
+// silent.
+package units
+
+import (
+	"event"
+	"mem"
+)
+
+func launder(t event.Time, a mem.Addr) {
+	_ = event.Time(a)         // want `conversion from mem.Addr to event.Time mixes units`
+	_ = mem.Addr(t)           // want `conversion from event.Time to mem.Addr mixes units`
+	_ = event.Time(uint64(a)) // want `conversion chain launders mem.Addr into event.Time through uint64`
+	_ = mem.Addr(uint64(t))   // want `conversion chain launders event.Time into mem.Addr through uint64`
+}
+
+func legitimate(t event.Time, a mem.Addr, bytes uint64, n int) {
+	_ = mem.Addr(bytes)      // plain count to unit: the blessed idiom
+	_ = event.Time(n)        // plain count to unit
+	_ = uint64(a)            // unit down to count
+	_ = a + mem.Addr(bytes)  // base + offset
+	_ = uint64(a - 0x1000)   // span math
+	_ = t + event.Time(n)*10 // scaled count added to a timestamp
+}
+
+func dimensional(t, u event.Time, a, b mem.Addr) {
+	_ = a * b // want `mem.Addr \* mem.Addr is dimensionally invalid`
+	_ = t / u // want `event.Time / event.Time is dimensionally invalid`
+	_ = a % b // want `mem.Addr % mem.Addr is dimensionally invalid`
+	_ = a - b // difference of addresses is a span: allowed
+	_ = t + u // sums stay silent (merging timestamps is the caller's business)
+	_ = a * 2 // constant scale factor: allowed
+	_ = 4 * t // constant scale factor: allowed
+}

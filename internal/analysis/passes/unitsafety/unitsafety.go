@@ -1,0 +1,152 @@
+// Package unitsafety implements the cpelint pass that keeps the simulator's
+// unsigned-integer domains apart. Simulated time (event.Time) and simulated
+// addresses (mem.Addr) are both uint64 under the hood, and before mem.Addr
+// became a defined type a cycle count could silently flow into address
+// arithmetic (or vice versa) through any uint64 expression. The type
+// promotion makes direct mixing a compile error; this pass closes the two
+// holes the type system leaves open:
+//
+//   - unit laundering: converting one unit type directly to another
+//     (event.Time(addr)), or through an intermediate plain-integer
+//     conversion (event.Time(uint64(addr))). A value that genuinely changes
+//     domain must go through a named variable or function whose meaning is
+//     the conversion — never an inline cast chain.
+//
+//   - dimensionally invalid arithmetic: multiplying, dividing, or taking the
+//     remainder of two values of the same unit type (Addr*Addr has units of
+//     bytes², Time%Time of cycles²). Scaling is always unit × plain count;
+//     the count operand must be converted down, not the unit operand
+//     re-blessed.
+//
+// Differences and sums of one unit type (Hi-Lo span math, base+offset) are
+// legitimate and stay silent. Unit types are matched by package name + type
+// name so fixtures can stub the event and mem packages.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unitsafety pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "flag conversions that launder one unit type (event.Time, mem.Addr) into another, " +
+		"and dimensionally invalid arithmetic (unit*unit, unit/unit, unit%unit)",
+	Run: run,
+}
+
+// unitTypes are the defined types that carry a physical dimension, keyed by
+// declaring-package name then type name.
+var unitTypes = map[string]map[string]bool{
+	"event": {"Time": true},
+	"mem":   {"Addr": true},
+}
+
+// unitName returns the qualified unit name ("event.Time") when t is one of
+// the unit types, or "".
+func unitName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if unitTypes[obj.Pkg().Name()][obj.Name()] {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkArith(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConversion flags T(x) where T and x are different unit types, looking
+// through one intermediate plain-integer conversion so
+// event.Time(uint64(addr)) cannot launder the cast.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := unitName(tv.Type)
+	if dst == "" {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	src := unitName(typeOf(pass, arg))
+	via := ""
+	if src == "" {
+		// One level of laundering: T(basic(x)) where x is a unit type.
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			if itv, ok := pass.TypesInfo.Types[inner.Fun]; ok && itv.IsType() {
+				if b, ok := itv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					src = unitName(typeOf(pass, ast.Unparen(inner.Args[0])))
+					via = b.Name()
+				}
+			}
+		}
+	}
+	if src == "" || src == dst {
+		return
+	}
+	if via != "" {
+		pass.Reportf(call.Pos(),
+			"conversion chain launders %s into %s through %s; units must not cross via inline casts", src, dst, via)
+		return
+	}
+	pass.Reportf(call.Pos(), "conversion from %s to %s mixes units; these domains must never meet", src, dst)
+}
+
+// checkArith flags unit*unit, unit/unit, and unit%unit: the result would be
+// dimensionally meaningless (bytes², a dimensionless ratio re-blessed as a
+// unit value). Sums and differences of one unit are legitimate span math.
+func checkArith(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.MUL, token.QUO, token.REM:
+	default:
+		return
+	}
+	lu := unitName(typeOf(pass, bin.X))
+	ru := unitName(typeOf(pass, bin.Y))
+	if lu == "" || lu != ru {
+		return
+	}
+	// A constant operand is a scale factor that happens to inherit the unit
+	// type from context (addr * 2); only flag value-value arithmetic.
+	if isConst(pass, bin.X) || isConst(pass, bin.Y) {
+		return
+	}
+	pass.Reportf(bin.Pos(),
+		"%s %s %s is dimensionally invalid; convert one operand to a plain count first", lu, bin.Op, lu)
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return t
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/unitsafety"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", "units", unitsafety.Analyzer)
+}

@@ -7,10 +7,14 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/ctxflow"
 	"repro/internal/analysis/passes/determinism"
 	"repro/internal/analysis/passes/errpanic"
 	"repro/internal/analysis/passes/eventsafety"
+	"repro/internal/analysis/passes/exhaustive"
 	"repro/internal/analysis/passes/ignores"
+	"repro/internal/analysis/passes/noalloc"
+	"repro/internal/analysis/passes/unitsafety"
 )
 
 // Analyzers returns the cpelint pass suite.
@@ -19,6 +23,10 @@ func Analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		eventsafety.Analyzer,
 		errpanic.Analyzer,
+		noalloc.Analyzer,
+		unitsafety.Analyzer,
+		ctxflow.Analyzer,
+		exhaustive.Analyzer,
 		ignores.Analyzer,
 	}
 }

@@ -747,6 +747,10 @@ func (c *Coordinator) submitHedged(ctx context.Context, tj *trackedJob, node, ur
 	var last submitResult
 	for {
 		select {
+		case <-ctx.Done():
+			// The in-flight submits hold ctx too and will fail promptly;
+			// the results channel is buffered so they never block.
+			return nil, node, ctx.Err()
 		case <-timer.C:
 			hNode, hURL, ok := c.nextBackend(node)
 			if !ok || outstanding != 1 {

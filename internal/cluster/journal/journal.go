@@ -39,19 +39,25 @@ import (
 	"sync"
 )
 
+// RecordType tags one journal entry. It is a defined type so the cpelint
+// exhaustive pass can prove every replay switch handles every record kind —
+// a silently skipped type during recovery is exactly the bug a WAL exists
+// to prevent.
+type RecordType string
+
 // Record types. Accept carries the job body; Done only the ID. Worker and
 // WorkerGone track cluster membership so a restarted coordinator knows whom
 // to replay onto before anyone re-registers.
 const (
-	TypeAccept     = "accept"
-	TypeDone       = "done"
-	TypeWorker     = "worker"
-	TypeWorkerGone = "worker-gone"
+	TypeAccept     RecordType = "accept"
+	TypeDone       RecordType = "done"
+	TypeWorker     RecordType = "worker"
+	TypeWorkerGone RecordType = "worker-gone"
 )
 
 // Record is one journal entry's payload.
 type Record struct {
-	Type string          `json:"t"`
+	Type RecordType      `json:"t"`
 	ID   string          `json:"id,omitempty"`
 	Body json.RawMessage `json:"body,omitempty"`
 }

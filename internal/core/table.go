@@ -474,6 +474,8 @@ func mergeState(a, b State) State {
 			return 2
 		case Valid:
 			return 1
+		case NotPresent:
+			return 0
 		}
 		return 0
 	}
@@ -516,6 +518,8 @@ func (t *Table) insert(arg *ArgView, addFlush, addInval func(int, mem.RangeSet))
 				addInval(c, victim.ranges[c])
 			case Valid, Stale:
 				addInval(c, victim.ranges[c])
+			case NotPresent:
+				// No copy tracked on this chiplet; nothing to synchronize.
 			}
 		}
 		t.remove(victim)
@@ -601,7 +605,7 @@ func (t *Table) coarsen(args []ArgView) []ArgView {
 		for i := 0; i+1 < len(args); i++ {
 			gap := uint64(0)
 			if args[i+1].Full.Lo > args[i].Full.Hi {
-				gap = args[i+1].Full.Lo - args[i].Full.Hi
+				gap = uint64(args[i+1].Full.Lo - args[i].Full.Hi)
 			}
 			if gap < bestGap {
 				best, bestGap = i, gap

@@ -29,7 +29,7 @@ func mustTable(cfg Config) *Table {
 func view(base mem.Addr, size uint64, mode kernels.AccessMode, ranges map[int]mem.Range) ArgView {
 	v := ArgView{
 		Base:   base,
-		Full:   mem.Range{Lo: base, Hi: base + size},
+		Full:   mem.Range{Lo: base, Hi: base + mem.Addr(size)},
 		Mode:   mode,
 		Ranges: make([]mem.RangeSet, nChiplets),
 	}

@@ -220,7 +220,7 @@ func prePlace(m *machine.Machine, w *kernels.Workload, chiplets []int, policy Pa
 		return
 	}
 	interleave := func(d *kernels.DataStructure) {
-		ps := uint64(m.Cfg.PageSize)
+		ps := mem.Addr(m.Cfg.PageSize)
 		r := d.Range()
 		i := 0
 		for lo := r.Lo; lo < r.Hi; lo += ps {

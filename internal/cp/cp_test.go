@@ -206,7 +206,7 @@ func TestPrePlacePartitionsLinearStructures(t *testing.T) {
 	if h := m.Pages.HomeIfPlaced(ds.Base); h != 0 {
 		t.Errorf("first page home = %d", h)
 	}
-	if h := m.Pages.HomeIfPlaced(ds.Base + ds.Bytes - 1); h != 3 {
+	if h := m.Pages.HomeIfPlaced(ds.Base + mem.Addr(ds.Bytes) - 1); h != 3 {
 		t.Errorf("last page home = %d", h)
 	}
 }
@@ -274,7 +274,7 @@ func TestPlacementPolicies(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := w.Structures[0]
-	if m.Pages.HomeIfPlaced(ds.Base) != 0 || m.Pages.HomeIfPlaced(ds.Base+ds.Bytes-1) != 0 {
+	if m.Pages.HomeIfPlaced(ds.Base) != 0 || m.Pages.HomeIfPlaced(ds.Base+mem.Addr(ds.Bytes)-1) != 0 {
 		t.Error("single placement not on chiplet 0")
 	}
 

@@ -136,6 +136,7 @@ type wheel struct {
 	count    int
 }
 
+//cpelide:noalloc
 func eventLess(a, b *Event) bool {
 	if a.When != b.When {
 		return a.When < b.When
@@ -146,6 +147,8 @@ func eventLess(a, b *Event) bool {
 // sortBucket insertion-sorts ev by (When, seq). Buckets are small and nearly
 // sorted (pushes arrive in seq order), so this beats sort.Slice and allocates
 // nothing.
+//
+//cpelide:noalloc
 func sortBucket(ev []*Event) {
 	for i := 1; i < len(ev); i++ {
 		e := ev[i]
@@ -158,14 +161,20 @@ func sortBucket(ev []*Event) {
 	}
 }
 
+// push files one event into the calendar.
+//
+//cpelide:noalloc amortized bucket growth is baselined inside place
 func (w *wheel) push(ev *Event) {
 	w.count++
 	w.place(ev)
 }
 
 // place files ev into its bucket or the overflow level (count not touched).
+//
+//cpelide:noalloc
 func (w *wheel) place(ev *Event) {
 	if ev.When-w.base >= wheelHorizon {
+		//cpelint:ignore noalloc overflow level grows amortized; steady state reuses its backing array
 		w.overflow = append(w.overflow, ev)
 		return
 	}
@@ -174,6 +183,7 @@ func (w *wheel) place(ev *Event) {
 	if n := len(bk.ev); n > bk.head && ev.When < bk.ev[n-1].When {
 		bk.dirty = true
 	}
+	//cpelint:ignore noalloc bucket storage grows amortized and is reused across wheel rotations
 	bk.ev = append(bk.ev, ev)
 	w.occupied[b>>6] |= 1 << (b & 63)
 }
@@ -181,6 +191,8 @@ func (w *wheel) place(ev *Event) {
 // firstOccupied returns the lowest occupied bucket index, or -1. Buckets
 // below the pending minimum are always empty (events deliver in time order
 // and Schedule rejects the past), so scanning from zero is correct.
+//
+//cpelide:noalloc
 func (w *wheel) firstOccupied() int {
 	for wi, word := range w.occupied {
 		if word != 0 {
@@ -192,6 +204,9 @@ func (w *wheel) firstOccupied() int {
 
 // rebase jumps the wheel to the earliest overflow event and re-buckets the
 // overflow level. Called only when the wheel is empty and overflow is not.
+// Re-bucketing reuses the overflow backing array in place.
+//
+//cpelide:noalloc
 func (w *wheel) rebase() {
 	min := w.overflow[0].When
 	for _, ev := range w.overflow[1:] {
@@ -214,6 +229,9 @@ func (w *wheel) rebase() {
 	w.overflow = keep
 }
 
+// pop removes and returns the earliest pending event, or nil.
+//
+//cpelide:noalloc
 func (w *wheel) pop() *Event {
 	if w.count == 0 {
 		return nil
@@ -334,6 +352,8 @@ func (e *Engine) PoolOutstanding() int { return e.outstanding }
 func (e *Engine) PoolFree() int { return len(e.free) }
 
 // get takes an event node from the pool, growing it on demand.
+//
+//cpelide:noalloc pool growth is baselined below; steady state recycles nodes
 func (e *Engine) get() *Event {
 	e.outstanding++
 	if n := len(e.free); n > 0 {
@@ -342,31 +362,43 @@ func (e *Engine) get() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
+	//cpelint:ignore noalloc pool growth: one node per high-water increase, zero steady-state
 	return &Event{}
 }
 
 // put returns a delivered (or dropped) node to the pool. References are
 // cleared so a pooled node never pins a handler or payload.
+//
+//cpelide:noalloc free-list growth is baselined below
 func (e *Engine) put(ev *Event) {
 	ev.Handler = nil
 	ev.Payload = nil
+	//cpelint:ignore noalloc free list grows to the pool high-water mark, then stabilizes
 	e.free = append(e.free, ev)
 	e.outstanding--
 }
 
+// push hands one node to the active calendar.
+//
+//cpelide:noalloc heap calendar is baselined below; the wheel path is clean
 func (e *Engine) push(ev *Event) {
 	if e.useHeap {
+		//cpelint:ignore noalloc heap calendar is the A/B reference, not the default hot path
 		heap.Push(&e.hq, ev)
 		return
 	}
 	e.wheel.push(ev)
 }
 
+// pop takes the earliest node from the active calendar.
+//
+//cpelide:noalloc heap calendar is baselined below; the wheel path is clean
 func (e *Engine) pop() *Event {
 	if e.useHeap {
 		if len(e.hq) == 0 {
 			return nil
 		}
+		//cpelint:ignore noalloc heap calendar is the A/B reference, not the default hot path
 		return heap.Pop(&e.hq).(*Event)
 	}
 	return e.wheel.pop()
@@ -376,6 +408,8 @@ func (e *Engine) pop() *Event {
 // payload. Scheduling in the past (t < Now) returns ErrPastEvent and enqueues
 // nothing: it indicates a causality bug in the caller, which should stop the
 // simulation and surface the error.
+//
+//cpelide:noalloc
 func (e *Engine) Schedule(t Time, h Handler, payload any) error {
 	if t < e.now {
 		return ErrPastEvent
@@ -388,6 +422,8 @@ func (e *Engine) Schedule(t Time, h Handler, payload any) error {
 }
 
 // ScheduleAfter enqueues an event delta cycles after the current time.
+//
+//cpelide:noalloc
 func (e *Engine) ScheduleAfter(delta Time, h Handler, payload any) error {
 	return e.Schedule(e.now+delta, h, payload)
 }

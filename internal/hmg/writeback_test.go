@@ -142,7 +142,7 @@ func TestWriteBackFinalizeCommitsEverything(t *testing.T) {
 	p, m, addrs := wbSetup(t)
 	// Dirty several lines across both pages from several writers.
 	for i, c := range []int{0, 1, 2, 3, 0, 2} {
-		a := addrs[i%2] + mem.Addr(i)*mem.Addr(m.Cfg.LineSize)
+		a := addrs[i%2] + mem.Addr(i*m.Cfg.LineSize)
 		p.Access(c, 0, a, true, i%3 == 0)
 	}
 	plan := p.Finalize()
@@ -155,7 +155,7 @@ func TestWriteBackFinalizeCommitsEverything(t *testing.T) {
 	}
 	for _, base := range addrs {
 		for off := 0; off < 6; off++ {
-			a := base + mem.Addr(off)*mem.Addr(m.Cfg.LineSize)
+			a := base + mem.Addr(off*m.Cfg.LineSize)
 			if m.Mem.Committed(a) != m.Mem.Latest(a) {
 				t.Errorf("line %#x: committed v%d != latest v%d after finalize",
 					a, m.Mem.Committed(a), m.Mem.Latest(a))

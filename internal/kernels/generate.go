@@ -91,22 +91,24 @@ func ArgRanges(k *Kernel, arg, part, nparts, lineSize int) mem.RangeSet {
 	switch a.Pattern {
 	case Broadcast, Indirect:
 		return mem.NewRangeSet(d.Range())
+	case Linear, Strided, Stencil:
+		// Partitioned: fall through to the per-chiplet byte range below.
 	}
 	r := PartitionByteRange(d, k.WGs, nparts, part, lineSize)
 	if r.Empty() {
 		return mem.RangeSet{}
 	}
 	if a.Pattern == Stencil && a.HaloLines > 0 {
-		halo := uint64(a.HaloLines * lineSize)
+		halo := mem.Addr(a.HaloLines * lineSize)
 		if r.Lo >= d.Base+halo {
 			r.Lo -= halo
 		} else {
 			r.Lo = d.Base
 		}
-		if r.Hi+halo <= d.Base+d.Bytes {
+		if r.Hi+halo <= d.Base+mem.Addr(d.Bytes) {
 			r.Hi += halo
 		} else {
-			r.Hi = d.Base + d.Bytes
+			r.Hi = d.Base + mem.Addr(d.Bytes)
 		}
 	}
 	return mem.NewRangeSet(r)
@@ -172,6 +174,8 @@ func GenerateScheduled(k *Kernel, inst int, seed uint64, part, nparts, cus, line
 			case Indirect:
 				genIndirect(k, a, ai, inst, seed, wg, cu, shift, sink)
 				continue
+			case Linear, Strided, Stencil:
+				// Partitioned linear walk below.
 			}
 			lo, hi := lineSlice(dsLines(d, lineSize), k.WGs, wg)
 			if lo >= hi {
@@ -191,7 +195,7 @@ func GenerateScheduled(k *Kernel, inst int, seed uint64, part, nparts, cus, line
 					if loLine >= d.Base+off {
 						sink(Access{CU: cu, Line: loLine - off, Write: false, Arg: ai})
 					}
-					if hiLine+off < d.Base+d.Bytes {
+					if hiLine+off < d.Base+mem.Addr(d.Bytes) {
 						sink(Access{CU: cu, Line: hiLine + off, Write: false, Arg: ai})
 					}
 				}

@@ -83,7 +83,7 @@ type DataStructure struct {
 
 // Range returns the structure's full address range.
 func (d *DataStructure) Range() mem.Range {
-	return mem.Range{Lo: d.Base, Hi: d.Base + d.Bytes}
+	return mem.Range{Lo: d.Base, Hi: d.Base + mem.Addr(d.Bytes)}
 }
 
 // Elems returns the element count.
@@ -278,7 +278,7 @@ func NewAllocator(base mem.Addr, pageSize int) *Allocator {
 func (a *Allocator) Alloc(name string, elems, elemSize int) *DataStructure {
 	bytes := uint64(elems) * uint64(elemSize)
 	d := &DataStructure{Name: name, Base: a.next, Bytes: bytes, ElemSize: elemSize}
-	a.next += (bytes + a.pageSize - 1) / a.pageSize * a.pageSize
+	a.next += mem.Addr((bytes + a.pageSize - 1) / a.pageSize * a.pageSize)
 	return d
 }
 

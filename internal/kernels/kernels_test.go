@@ -89,8 +89,8 @@ func TestPartitionByteRangesDisjointCover(t *testing.T) {
 		}
 		prev = r.Hi
 	}
-	if prev < d.Base+d.Bytes-64 || prev > d.Base+d.Bytes+64 {
-		t.Fatalf("cover ends at %#x, structure ends at %#x", prev, d.Base+d.Bytes)
+	if prev < d.Base+mem.Addr(d.Bytes)-64 || prev > d.Base+mem.Addr(d.Bytes)+64 {
+		t.Fatalf("cover ends at %#x, structure ends at %#x", prev, d.Base+mem.Addr(d.Bytes))
 	}
 }
 

@@ -141,6 +141,7 @@ func (c *Cache) ValidLines() int { return c.validLines }
 // DirtyLines returns the number of dirty lines currently cached.
 func (c *Cache) DirtyLines() int { return c.dirtyLines }
 
+//cpelide:noalloc
 func (c *Cache) setIndex(line Addr) uint64 {
 	idx := uint64(line) >> c.lineShift
 	if c.setsPow2 {
@@ -150,6 +151,8 @@ func (c *Cache) setIndex(line Addr) uint64 {
 }
 
 // set returns the ways of the set holding line.
+//
+//cpelide:noalloc
 func (c *Cache) set(line Addr) []way {
 	s := c.setIndex(line) * uint64(c.assoc)
 	return c.sets[s : s+uint64(c.assoc)]
@@ -157,17 +160,22 @@ func (c *Cache) set(line Addr) []way {
 
 // setWithIndex returns the ways of the set holding line plus the set index,
 // for callers that also maintain the dirty bitmap.
+//
+//cpelide:noalloc
 func (c *Cache) setWithIndex(line Addr) ([]way, uint64) {
 	si := c.setIndex(line)
 	s := si * uint64(c.assoc)
 	return c.sets[s : s+uint64(c.assoc)], si
 }
 
+//cpelide:noalloc
 func (c *Cache) markDirtySet(si uint64) {
 	c.dirtySets[si>>6] |= 1 << (si & 63)
 }
 
 // moveToFront promotes ways[i] to MRU position.
+//
+//cpelide:noalloc
 func moveToFront(ways []way, i int) {
 	if i == 0 {
 		return
@@ -179,6 +187,8 @@ func moveToFront(ways []way, i int) {
 
 // Read looks up line. On a hit it returns the cached version, promotes the
 // line to MRU, and reports hit=true. It never allocates.
+//
+//cpelide:noalloc
 func (c *Cache) Read(line Addr) (ver uint32, hit bool) {
 	ways := c.set(line)
 	for i := range ways {
@@ -191,6 +201,8 @@ func (c *Cache) Read(line Addr) (ver uint32, hit bool) {
 }
 
 // Peek reports whether line is cached, without disturbing LRU order.
+//
+//cpelide:noalloc
 func (c *Cache) Peek(line Addr) (ver uint32, dirty, hit bool) {
 	ways := c.set(line)
 	for i := range ways {
@@ -205,6 +217,8 @@ func (c *Cache) Peek(line Addr) (ver uint32, dirty, hit bool) {
 // (write-back semantics), and reports whether the line was present. On a
 // miss it does nothing; the caller decides whether to write-allocate via
 // Fill.
+//
+//cpelide:noalloc
 func (c *Cache) Write(line Addr, ver uint32) bool {
 	ways, si := c.setWithIndex(line)
 	for i := range ways {
@@ -225,6 +239,8 @@ func (c *Cache) Write(line Addr, ver uint32) bool {
 // UpdateClean refreshes line's version without marking it dirty, modeling a
 // write-through store updating a cached copy whose data has already been
 // committed below. It reports whether the line was present.
+//
+//cpelide:noalloc
 func (c *Cache) UpdateClean(line Addr, ver uint32) bool {
 	ways := c.set(line)
 	for i := range ways {
@@ -244,6 +260,8 @@ func (c *Cache) UpdateClean(line Addr, ver uint32) bool {
 // Fill installs line with the given version and dirty state, evicting the
 // LRU way if the set is full. Filling a line already present updates it in
 // place instead.
+//
+//cpelide:noalloc
 func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
 	ways, si := c.setWithIndex(line)
 	// Already present: update in place.
@@ -292,6 +310,8 @@ func (c *Cache) Fill(line Addr, ver uint32, dirty bool) EvictInfo {
 
 // Invalidate drops line if present and reports whether it was cached and
 // whether it was dirty (the dirty data is discarded).
+//
+//cpelide:noalloc
 func (c *Cache) Invalidate(line Addr) (wasDirty, wasPresent bool) {
 	ways := c.set(line)
 	for i := range ways {
@@ -313,6 +333,8 @@ func (c *Cache) Invalidate(line Addr) (wasDirty, wasPresent bool) {
 // The work is O(1): validity is epoch-based, so bumping the epoch stales
 // every way at once (the way array is physically cleared only when the
 // 16-bit epoch wraps).
+//
+//cpelide:noalloc
 func (c *Cache) InvalidateAll() int {
 	n := c.validLines
 	if c.epoch == ^uint16(0) {

@@ -154,6 +154,8 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindHistogram:
 		return "histogram"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
 	}
 	return "gauge"
 }

@@ -1,0 +1,42 @@
+package stats
+
+import "testing"
+
+// Dynamic counterpart to the //cpelide:noalloc annotations on the dense
+// counter array: the per-access instrumentation path must never allocate.
+
+func TestCounterOpsNoAllocs(t *testing.T) {
+	s := New()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Inc(L1Hits)
+		s.Add(L1Hits, 41)
+		s.Max(L1Hits, 7)
+		s.Set(L1Hits, 3)
+		if s.Get(L1Hits) != 3 {
+			t.Fatal("counter value wrong")
+		}
+		if !s.isTouched(L1Hits) {
+			t.Fatal("touch lost")
+		}
+		_ = IsMax(L1Hits)
+	})
+	if allocs != 0 {
+		t.Errorf("counter ops: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilSheetOpsNoAllocs(t *testing.T) {
+	var s *Sheet
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Inc(L1Hits)
+		s.Add(L1Hits, 1)
+		s.Max(L1Hits, 1)
+		s.Set(L1Hits, 1)
+		if s.Get(L1Hits) != 0 {
+			t.Fatal("nil sheet returned a value")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-sheet ops: %v allocs/op, want 0", allocs)
+	}
+}

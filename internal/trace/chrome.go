@@ -77,6 +77,8 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			workers[e.Chiplet] = true
 		case KindFault:
 			haveFaults = true
+		case KindPlan, KindOracle:
+			// Rendered on fixed CP tracks; no per-event metadata to collect.
 		}
 	}
 	for _, s := range sortedKeys(streams) {
@@ -166,6 +168,12 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: e.Name, Cat: "farm", Ph: "X",
 				Ts: e.Cycles, Dur: dur, Pid: pidFarm, Tid: int(e.Chiplet),
+			})
+		case KindOracle:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Name, Cat: "oracle", Ph: "i", S: "t",
+				Ts: e.Ts, Pid: pidCP, Tid: 1,
+				Args: map[string]any{"chiplet": e.Chiplet},
 			})
 		}
 	}
